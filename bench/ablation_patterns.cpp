@@ -1,0 +1,102 @@
+//===- ablation_patterns.cpp - §5.1 per-pattern impact ---------------------===//
+//
+// Part of the Cut-Shortcut pointer analysis reproduction.
+//
+// Regenerates the per-pattern ablation discussed in §5.1 (RQ1): enable
+// exactly one pattern at a time and report which fraction of the total
+// CI→CSC precision improvement each pattern contributes, per metric. The
+// paper reports e.g. field/container/local-flow = 11.9%/75.8%/11.8% for
+// #fail-cast and 53.2%/40.5%/2.0% for #reach-mtd on average; fractions
+// need not sum to 100% (pattern interactions).
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+#include <cstdio>
+
+using namespace csc;
+using namespace csc::bench;
+
+namespace {
+
+RunOutcome runVariant(const Program &P, CutShortcutOptions Opts) {
+  RunConfig C;
+  C.Kind = AnalysisKind::CSC;
+  C.Csc = Opts;
+  C.TimeBudgetMs = budgetMs();
+  return runAnalysis(P, C);
+}
+
+double improvementPct(uint64_t CI, uint64_t Variant, uint64_t Full) {
+  if (CI <= Full)
+    return 0.0;
+  double Total = static_cast<double>(CI - Full);
+  double Part = static_cast<double>(CI > Variant ? CI - Variant : 0);
+  return 100.0 * Part / Total;
+}
+
+} // namespace
+
+int main() {
+  std::printf("Per-pattern precision impact (%% of the CI->CSC improvement "
+              "recovered by each pattern alone)\n");
+  std::printf("%-10s %-12s %12s %12s %12s %12s\n", "program", "pattern",
+              "#fail-cast", "#reach-mtd", "#poly-call", "#call-edge");
+
+  struct Variant {
+    const char *Name;
+    CutShortcutOptions Opts;
+  };
+  CutShortcutOptions FieldOnly, ContainerOnly, LocalOnly;
+  FieldOnly.Container = FieldOnly.LocalFlow = false;
+  ContainerOnly.FieldStore = ContainerOnly.FieldLoad =
+      ContainerOnly.LocalFlow = false;
+  LocalOnly.FieldStore = LocalOnly.FieldLoad = LocalOnly.Container = false;
+  const Variant Variants[] = {{"field", FieldOnly},
+                              {"container", ContainerOnly},
+                              {"local-flow", LocalOnly}};
+
+  double Sum[3][4] = {};
+  int Counted = 0;
+  for (BenchProgram &BP : buildSuite()) {
+    RunConfig CICfg;
+    CICfg.TimeBudgetMs = budgetMs();
+    RunOutcome CI = runAnalysis(*BP.P, CICfg);
+    RunOutcome Full = runVariant(*BP.P, {});
+    if (CI.Exhausted || Full.Exhausted)
+      continue;
+    ++Counted;
+    for (int V = 0; V != 3; ++V) {
+      RunOutcome O = runVariant(*BP.P, Variants[V].Opts);
+      double Pct[4] = {
+          improvementPct(CI.Metrics.FailCasts, O.Metrics.FailCasts,
+                         Full.Metrics.FailCasts),
+          improvementPct(CI.Metrics.ReachMethods, O.Metrics.ReachMethods,
+                         Full.Metrics.ReachMethods),
+          improvementPct(CI.Metrics.PolyCalls, O.Metrics.PolyCalls,
+                         Full.Metrics.PolyCalls),
+          improvementPct(CI.Metrics.CallEdges, O.Metrics.CallEdges,
+                         Full.Metrics.CallEdges),
+      };
+      for (int M = 0; M != 4; ++M)
+        Sum[V][M] += Pct[M];
+      std::printf("%-10s %-12s %11.1f%% %11.1f%% %11.1f%% %11.1f%%\n",
+                  BP.Name.c_str(), Variants[V].Name, Pct[0], Pct[1], Pct[2],
+                  Pct[3]);
+    }
+    std::printf("\n");
+  }
+  if (Counted) {
+    std::printf("-- averages over %d programs --\n", Counted);
+    for (int V = 0; V != 3; ++V)
+      std::printf("%-10s %-12s %11.1f%% %11.1f%% %11.1f%% %11.1f%%\n",
+                  "average", Variants[V].Name, Sum[V][0] / Counted,
+                  Sum[V][1] / Counted, Sum[V][2] / Counted,
+                  Sum[V][3] / Counted);
+  }
+  std::printf("\nExpected shape (paper, averages): the container pattern "
+              "dominates #fail-cast; the field pattern dominates "
+              "#reach-mtd; local flow contributes a small share.\n");
+  return 0;
+}

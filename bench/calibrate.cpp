@@ -1,0 +1,38 @@
+//===- calibrate.cpp - Workload calibration probe --------------------------===//
+//
+// Part of the Cut-Shortcut pointer analysis reproduction.
+//
+// Not a paper table: prints raw sizes/times/work for each profile and
+// analysis so workload parameters can be tuned. Kept in-tree because it is
+// the tool we used to fit the suite to the paper's qualitative shape.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+#include <cstdio>
+
+using namespace csc;
+using namespace csc::bench;
+
+int main() {
+  bool Doop = std::getenv("CSC_CALIBRATE_DOOP") != nullptr;
+  std::printf("mode: %s\n", Doop ? "doop (full re-propagation)" : "tai-e");
+  std::printf("%-10s %8s %8s | %10s %12s\n", "program", "methods", "stmts",
+              "analysis", "time/work");
+  for (BenchProgram &BP : buildSuite()) {
+    const Program &P = *BP.P;
+    std::printf("%-10s %8u %8u\n", BP.Name.c_str(), P.numMethods(),
+                P.numStmts());
+    for (AnalysisKind K :
+         {AnalysisKind::CI, AnalysisKind::CSC, AnalysisKind::ZipperE,
+          AnalysisKind::TwoType, AnalysisKind::TwoObj}) {
+      RunOutcome O = runWithBudget(P, K, Doop);
+      std::printf("%-10s %8s %8s | %10s %8.0fms work=%llu%s\n", "", "", "",
+                  analysisName(K), O.TotalMs,
+                  static_cast<unsigned long long>(O.Result.Stats.PtsInsertions),
+                  O.Exhausted ? " EXHAUSTED" : "");
+    }
+  }
+  return 0;
+}

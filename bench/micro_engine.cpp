@@ -1,0 +1,134 @@
+//===- micro_engine.cpp - Engine microbenchmarks ----------------------------===//
+//
+// Part of the Cut-Shortcut pointer analysis reproduction.
+//
+// Google-benchmark microbenchmarks supporting the §5.1 discussion that
+// "the analysis cost of PFG manipulation is usually negligible": points-to
+// set operations across representations, PFG edge insertion, and
+// end-to-end solver throughput with and without the Cut-Shortcut plugin.
+//
+//===----------------------------------------------------------------------===//
+
+#include "csc/CutShortcutPlugin.h"
+#include "pta/PointerFlowGraph.h"
+#include "pta/Solver.h"
+#include "stdlib/ContainerSpec.h"
+#include "support/PointsToSet.h"
+#include "support/Rng.h"
+#include "workload/Workload.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace csc;
+
+static void BM_PointsToSetInsert(benchmark::State &State) {
+  const uint32_t N = static_cast<uint32_t>(State.range(0));
+  Rng R(1);
+  std::vector<uint32_t> Values;
+  for (uint32_t I = 0; I < N; ++I)
+    Values.push_back(R.nextInRange(N * 4));
+  for (auto _ : State) {
+    PointsToSet S;
+    for (uint32_t V : Values)
+      benchmark::DoNotOptimize(S.insert(V));
+  }
+  State.SetItemsProcessed(State.iterations() * N);
+}
+BENCHMARK(BM_PointsToSetInsert)->Arg(8)->Arg(64)->Arg(1024)->Arg(16384);
+
+static void BM_PointsToSetContains(benchmark::State &State) {
+  const uint32_t N = static_cast<uint32_t>(State.range(0));
+  PointsToSet S;
+  Rng R(2);
+  for (uint32_t I = 0; I < N; ++I)
+    S.insert(R.nextInRange(N * 4));
+  uint32_t Probe = 0;
+  for (auto _ : State) {
+    benchmark::DoNotOptimize(S.contains(Probe));
+    Probe = (Probe + 7919) % (N * 4);
+  }
+}
+BENCHMARK(BM_PointsToSetContains)->Arg(8)->Arg(1024)->Arg(65536);
+
+static void BM_PointsToSetIterate(benchmark::State &State) {
+  const uint32_t N = static_cast<uint32_t>(State.range(0));
+  PointsToSet S;
+  for (uint32_t I = 0; I < N; ++I)
+    S.insert(I * 3);
+  for (auto _ : State) {
+    uint64_t Sum = 0;
+    S.forEach([&Sum](uint32_t O) { Sum += O; });
+    benchmark::DoNotOptimize(Sum);
+  }
+  State.SetItemsProcessed(State.iterations() * N);
+}
+BENCHMARK(BM_PointsToSetIterate)->Arg(16)->Arg(4096);
+
+static void BM_PFGEdgeInsert(benchmark::State &State) {
+  const uint32_t N = static_cast<uint32_t>(State.range(0));
+  Rng R(3);
+  std::vector<std::pair<PtrId, PtrId>> Edges;
+  for (uint32_t I = 0; I < N; ++I)
+    Edges.emplace_back(R.nextInRange(N), R.nextInRange(N));
+  for (auto _ : State) {
+    PointerFlowGraph G;
+    for (auto [S, T] : Edges)
+      benchmark::DoNotOptimize(G.addEdge(S, T, InvalidId));
+  }
+  State.SetItemsProcessed(State.iterations() * N);
+}
+BENCHMARK(BM_PFGEdgeInsert)->Arg(1024)->Arg(65536);
+
+namespace {
+
+std::unique_ptr<Program> midProgram() {
+  WorkloadConfig C;
+  C.Name = "micro";
+  C.Seed = 4;
+  C.NumScenarios = 30;
+  C.ActionsPerScenario = 12;
+  std::vector<std::string> Diags;
+  auto P = buildWorkloadProgram(C, Diags);
+  if (!P)
+    std::abort();
+  return P;
+}
+
+} // namespace
+
+static void BM_SolverCI(benchmark::State &State) {
+  auto P = midProgram();
+  for (auto _ : State) {
+    Solver S(*P, {});
+    PTAResult R = S.solve();
+    benchmark::DoNotOptimize(R.Stats.PtsInsertions);
+  }
+}
+BENCHMARK(BM_SolverCI)->Unit(benchmark::kMillisecond);
+
+static void BM_SolverCSC(benchmark::State &State) {
+  auto P = midProgram();
+  ContainerSpec Spec = ContainerSpec::forProgram(*P);
+  for (auto _ : State) {
+    CutShortcutPlugin Plugin(*P, Spec);
+    Solver S(*P, {});
+    S.addPlugin(&Plugin);
+    PTAResult R = S.solve();
+    benchmark::DoNotOptimize(R.Stats.PtsInsertions);
+  }
+}
+BENCHMARK(BM_SolverCSC)->Unit(benchmark::kMillisecond);
+
+static void BM_SolverCIDoopMode(benchmark::State &State) {
+  auto P = midProgram();
+  SolverOptions Opts;
+  Opts.DeltaPropagation = false;
+  for (auto _ : State) {
+    Solver S(*P, Opts);
+    PTAResult R = S.solve();
+    benchmark::DoNotOptimize(R.Stats.PtsInsertions);
+  }
+}
+BENCHMARK(BM_SolverCIDoopMode)->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

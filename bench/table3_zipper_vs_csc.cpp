@@ -1,0 +1,116 @@
+//===- table3_zipper_vs_csc.cpp - Table 3 ----------------------------------===//
+//
+// Part of the Cut-Shortcut pointer analysis reproduction.
+//
+// Regenerates Table 3: the detailed Zipper-e vs Cut-Shortcut comparison —
+// Zipper-e's total / pre-analysis / main-analysis time and selected-method
+// count against CSC's time, the number of methods involved in cut/shortcut
+// edges, and the overlap between the two method sets. Left half = Doop
+// engine, right half = Tai-e engine, like the paper.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+#include "csc/CutShortcutPlugin.h"
+#include "pta/Solver.h"
+#include "stdlib/ContainerSpec.h"
+#include "support/Timer.h"
+#include "zipper/Zipper.h"
+
+#include <cstdio>
+
+using namespace csc;
+using namespace csc::bench;
+
+namespace {
+
+struct HalfRow {
+  std::string ZTotal, ZPre, ZMain;
+  uint32_t Selected = 0;
+  std::string CscTime;
+  uint32_t Involved = 0;
+  double OverlapPct = 0;
+};
+
+HalfRow measure(const Program &P, bool DoopMode) {
+  HalfRow Row;
+  double Budget = DoopMode ? budgetMs() / doopEngineFactor() : budgetMs();
+
+  // Zipper-e, phase by phase (so the pre/main split can be reported).
+  ZipperOptions ZOpts;
+  ZipperSelection Sel = runZipperSelection(P, ZOpts);
+  Row.Selected = static_cast<uint32_t>(Sel.Selected.size());
+  KObjSelector Inner(2);
+  SelectiveSelector Selective(Inner, Sel.Selected);
+  SolverOptions MainOpts;
+  MainOpts.Selector = &Selective;
+  MainOpts.DeltaPropagation = !DoopMode;
+  MainOpts.TimeBudgetMs = Budget;
+  Timer MainT;
+  Solver ZS(P, MainOpts);
+  PTAResult ZR = ZS.solve();
+  double MainMs = MainT.elapsedMs();
+  double TotalMs = Sel.PreAnalysisMs + MainMs;
+  bool ZExhausted = ZR.Exhausted || TotalMs > Budget;
+  char Buf[32];
+  auto Fmt = [&Buf](double Ms) {
+    std::snprintf(Buf, sizeof(Buf), "%.3f", Ms / 1000.0);
+    return std::string(Buf);
+  };
+  Row.ZPre = Fmt(Sel.PreAnalysisMs);
+  Row.ZMain = ZExhausted ? ">budget" : Fmt(MainMs);
+  Row.ZTotal = ZExhausted ? ">budget" : Fmt(TotalMs);
+
+  // Cut-Shortcut with its involved-method statistics.
+  ContainerSpec Spec = ContainerSpec::forProgram(P);
+  CutShortcutOptions CscOpts;
+  if (DoopMode)
+    CscOpts.FieldLoad = false;
+  CutShortcutPlugin Plugin(P, Spec, CscOpts);
+  SolverOptions CscSolverOpts;
+  CscSolverOpts.DeltaPropagation = !DoopMode;
+  CscSolverOpts.TimeBudgetMs = Budget;
+  Timer CscT;
+  Solver CS(P, CscSolverOpts);
+  CS.addPlugin(&Plugin);
+  PTAResult CR = CS.solve();
+  Row.CscTime = CR.Exhausted ? ">budget" : Fmt(CscT.elapsedMs());
+  const auto &Involved = Plugin.involvedMethods();
+  Row.Involved = static_cast<uint32_t>(Involved.size());
+  uint32_t Overlap = 0;
+  for (MethodId M : Involved)
+    Overlap += Sel.Selected.count(M) ? 1 : 0;
+  Row.OverlapPct =
+      Involved.empty() ? 0.0 : 100.0 * Overlap / Involved.size();
+  return Row;
+}
+
+void printHalf(const char *Name, const HalfRow &R) {
+  std::printf("%-10s %9s %9s %9s %9u %9s %9u %8.1f%%\n", Name,
+              R.ZTotal.c_str(), R.ZPre.c_str(), R.ZMain.c_str(), R.Selected,
+              R.CscTime.c_str(), R.Involved, R.OverlapPct);
+}
+
+} // namespace
+
+int main() {
+  std::printf("Table 3: Zipper-e vs Cut-Shortcut, per engine mode\n");
+  std::printf("(columns: Zipper-e total / pre-analysis / main-analysis "
+              "time in s, #selected methods; CSC time in s, #involved "
+              "methods, %% of involved methods also selected)\n");
+  auto Suite = buildSuite();
+  for (bool DoopMode : {true, false}) {
+    std::printf("\n-- %s engine --\n",
+                DoopMode ? "Doop-style" : "Tai-e-style");
+    std::printf("%-10s %9s %9s %9s %9s %9s %9s %9s\n", "program", "Z-total",
+                "Z-pre", "Z-main", "Z-sel", "CSC-time", "involved",
+                "overlap");
+    for (BenchProgram &BP : Suite)
+      printHalf(BP.Name.c_str(), measure(*BP.P, DoopMode));
+  }
+  std::printf("\nExpected shape (paper): CSC is several times faster than "
+              "Zipper-e even ignoring Zipper-e's pre-analysis; the method "
+              "sets overlap only partially (~31%% in the paper).\n");
+  return 0;
+}

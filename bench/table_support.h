@@ -1,0 +1,44 @@
+//===- table_support.h - Shared Table 1/2 rendering -------------*- C++ -*-===//
+//
+// Part of the Cut-Shortcut pointer analysis reproduction.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef CSC_BENCH_TABLE_SUPPORT_H
+#define CSC_BENCH_TABLE_SUPPORT_H
+
+#include "BenchCommon.h"
+
+#include <cstdio>
+
+namespace csc::bench {
+
+/// Prints one of the paper's efficiency/precision tables (Tables 1 and 2
+/// share this layout; they differ in the engine mode).
+inline void printMetricsTable(const char *Title, bool DoopMode) {
+  std::printf("%s\n", Title);
+  std::printf("(budget %.0f ms%s)\n", budgetMs(),
+              DoopMode ? ", divided by the Doop engine factor" : "");
+  std::printf("%-10s %-9s %10s %10s %10s %10s %12s\n", "program",
+              "analysis", "time(s)", "#fail-cast", "#reach-mtd",
+              "#poly-call", "#call-edge");
+  const AnalysisKind Kinds[] = {AnalysisKind::CI, AnalysisKind::TwoObj,
+                                AnalysisKind::TwoType, AnalysisKind::ZipperE,
+                                AnalysisKind::CSC};
+  for (BenchProgram &BP : buildSuite()) {
+    for (AnalysisKind K : Kinds) {
+      RunOutcome O = runWithBudget(*BP.P, K, DoopMode);
+      std::printf("%-10s %-9s %10s %10s %10s %10s %12s\n",
+                  BP.Name.c_str(), analysisName(K), fmtTime(O).c_str(),
+                  fmtCount(O, O.Metrics.FailCasts).c_str(),
+                  fmtCount(O, O.Metrics.ReachMethods).c_str(),
+                  fmtCount(O, O.Metrics.PolyCalls).c_str(),
+                  fmtCount(O, O.Metrics.CallEdges).c_str());
+    }
+    std::printf("\n");
+  }
+}
+
+} // namespace csc::bench
+
+#endif // CSC_BENCH_TABLE_SUPPORT_H

@@ -1,0 +1,135 @@
+//===- cast_checker.cpp - A downcast-safety client --------------------------===//
+//
+// Part of the Cut-Shortcut pointer analysis reproduction.
+//
+// A realistic client built on the #fail-cast metric: an inventory
+// application keeps differently-typed items in separate collections and
+// downcasts on retrieval. Context-insensitive analysis merges the
+// collections and reports every downcast as possibly failing; Cut-Shortcut
+// proves the clean ones safe and still flags the one real bug.
+//
+// Run: build/examples/cast_checker
+//
+//===----------------------------------------------------------------------===//
+
+#include "client/AnalysisRunner.h"
+#include "frontend/Parser.h"
+#include "ir/Printer.h"
+#include "stdlib/Stdlib.h"
+
+#include <cstdio>
+
+using namespace csc;
+
+namespace {
+
+const char *InventoryApp = R"(
+class Book extends Object {
+  field title: String;
+}
+class Dvd extends Object {
+  field label: String;
+}
+class Inventory {
+  field books: ArrayList;
+  field dvds: ArrayList;
+  method init(): void {
+    var b: ArrayList;
+    var d: ArrayList;
+    b = new ArrayList;
+    dcall b.ArrayList.init();
+    d = new ArrayList;
+    dcall d.ArrayList.init();
+    this.books = b;
+    this.dvds = d;
+  }
+  method addBook(b: Book): void {
+    var l: ArrayList;
+    l = this.books;
+    call l.add(b);
+  }
+  method addDvd(d: Dvd): void {
+    var l: ArrayList;
+    l = this.dvds;
+    call l.add(d);
+  }
+  method anyBook(): Object {
+    var l: ArrayList;
+    var r: Object;
+    l = this.books;
+    r = call l.get();
+    return r;
+  }
+  method anyDvd(): Object {
+    var l: ArrayList;
+    var r: Object;
+    l = this.dvds;
+    r = call l.get();
+    return r;
+  }
+}
+class Main {
+  static method main(): void {
+    var inv: Inventory;
+    var bk: Book;
+    var dv: Dvd;
+    var o1: Object;
+    var o2: Object;
+    var o3: Object;
+    var rb: Book;
+    var rd: Dvd;
+    var oops: Dvd;
+    inv = new Inventory;
+    dcall inv.Inventory.init();
+    bk = new Book;
+    dv = new Dvd;
+    call inv.addBook(bk);
+    call inv.addDvd(dv);
+    o1 = call inv.anyBook();
+    rb = (Book) o1;        // safe: books only contains Book
+    o2 = call inv.anyDvd();
+    rd = (Dvd) o2;         // safe: dvds only contains Dvd
+    o3 = call inv.anyBook();
+    oops = (Dvd) o3;       // real bug: a Book is not a Dvd
+  }
+}
+)";
+
+void report(const char *Label, const Program &P, const RunOutcome &O) {
+  std::vector<StmtId> Fails = mayFailCasts(P, O.Result);
+  std::printf("%s: %zu of 3 downcasts may fail\n", Label, Fails.size());
+  for (StmtId S : Fails)
+    std::printf("  line %u: %s\n", P.stmt(S).Line,
+                printStmt(P, S).c_str());
+}
+
+} // namespace
+
+int main() {
+  Program P;
+  std::vector<std::string> Diags;
+  if (!parseProgram(P, {{"<stdlib>", stdlibSource()},
+                        {"inventory.jir", InventoryApp}},
+                    Diags)) {
+    for (const std::string &D : Diags)
+      std::fprintf(stderr, "%s\n", D.c_str());
+    return 1;
+  }
+
+  RunConfig CI;
+  CI.Kind = AnalysisKind::CI;
+  RunOutcome OCI = runAnalysis(P, CI);
+  report("context-insensitive", P, OCI);
+
+  std::printf("\n");
+
+  RunConfig CSC;
+  CSC.Kind = AnalysisKind::CSC;
+  RunOutcome OCSC = runAnalysis(P, CSC);
+  report("cut-shortcut       ", P, OCSC);
+
+  std::printf("\nCut-Shortcut separates the two collections, proving the "
+              "two clean casts safe\nwhile still flagging the genuine "
+              "Book-as-Dvd bug.\n");
+  return 0;
+}

@@ -1,0 +1,47 @@
+//===- Metrics.cpp - The paper's four precision clients -------------------===//
+//
+// Part of the Cut-Shortcut pointer analysis reproduction.
+//
+//===----------------------------------------------------------------------===//
+
+#include "client/Metrics.h"
+
+using namespace csc;
+
+std::vector<StmtId> csc::mayFailCasts(const Program &P, const PTAResult &R) {
+  std::vector<StmtId> Out;
+  for (StmtId S = 0; S < P.numStmts(); ++S) {
+    const Stmt &St = P.stmt(S);
+    if (St.Kind != StmtKind::Cast || !R.isReachable(St.Method))
+      continue;
+    bool MayFail = false;
+    R.pt(St.From).forEach([&](ObjId O) {
+      MayFail = MayFail || !P.isSubtype(P.obj(O).Type, St.Type);
+    });
+    if (MayFail)
+      Out.push_back(S);
+  }
+  return Out;
+}
+
+std::vector<CallSiteId> csc::polyCallSites(const Program &P,
+                                           const PTAResult &R) {
+  std::vector<CallSiteId> Out;
+  for (CallSiteId CS = 0; CS < P.numCallSites(); ++CS) {
+    const Stmt &St = P.stmt(P.callSite(CS).S);
+    if (St.IKind != InvokeKind::Virtual || !R.isReachable(St.Method))
+      continue;
+    if (R.calleesOf(CS).size() >= 2)
+      Out.push_back(CS);
+  }
+  return Out;
+}
+
+PrecisionMetrics csc::computeMetrics(const Program &P, const PTAResult &R) {
+  PrecisionMetrics M;
+  M.FailCasts = static_cast<uint32_t>(mayFailCasts(P, R).size());
+  M.ReachMethods = R.numReachableCI();
+  M.PolyCalls = static_cast<uint32_t>(polyCallSites(P, R).size());
+  M.CallEdges = R.numCallEdgesCI();
+  return M;
+}

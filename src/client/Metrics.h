@@ -1,0 +1,44 @@
+//===- Metrics.h - The paper's four precision clients -----------*- C++ -*-===//
+//
+// Part of the Cut-Shortcut pointer analysis reproduction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The four precision metrics of the evaluation (§5): a cast-resolution
+/// client (#fail-cast), method reachability (#reach-mtd), devirtualization
+/// (#poly-call) and call-graph construction (#call-edge). For every metric,
+/// smaller is better.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CSC_CLIENT_METRICS_H
+#define CSC_CLIENT_METRICS_H
+
+#include "ir/Program.h"
+#include "pta/PTAResult.h"
+
+#include <vector>
+
+namespace csc {
+
+struct PrecisionMetrics {
+  uint32_t FailCasts = 0;   ///< Casts that may fail at run time.
+  uint32_t ReachMethods = 0; ///< Reachable methods.
+  uint32_t PolyCalls = 0;   ///< Virtual call sites with >= 2 targets.
+  uint64_t CallEdges = 0;   ///< CI-projected call-graph edges.
+};
+
+/// Computes all four metrics from an analysis result.
+PrecisionMetrics computeMetrics(const Program &P, const PTAResult &R);
+
+/// The cast statements (in reachable methods) that may fail: pt(source)
+/// contains an object incompatible with the cast type.
+std::vector<StmtId> mayFailCasts(const Program &P, const PTAResult &R);
+
+/// The reachable virtual call sites with two or more resolved targets.
+std::vector<CallSiteId> polyCallSites(const Program &P, const PTAResult &R);
+
+} // namespace csc
+
+#endif // CSC_CLIENT_METRICS_H

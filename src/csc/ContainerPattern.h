@@ -1,0 +1,89 @@
+//===- ContainerPattern.h - §3.3 / Fig. 10 ----------------------*- C++ -*-===//
+//
+// Part of the Cut-Shortcut pointer analysis reproduction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The container access pattern (§3.3, formalized in Fig. 10). Return edges
+/// of Exit methods are cut ([CutContainer]); the pointer-host map ptH is
+/// computed on the fly ([ColHost]/[MapHost]/[TransferHost]/[PropHost]); at
+/// call sites of Entrances/Exits whose receivers share a host of matching
+/// element category, shortcut edges connect the entrance argument to the
+/// exit LHS ([HostSource]/[HostTarget]/[ShortcutContainer]).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CSC_CSC_CONTAINERPATTERN_H
+#define CSC_CSC_CONTAINERPATTERN_H
+
+#include "csc/CscState.h"
+#include "stdlib/ContainerSpec.h"
+#include "support/PointsToSet.h"
+
+#include <deque>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace csc {
+
+class ContainerPattern {
+public:
+  ContainerPattern(CscState &St, const ContainerSpec &Spec)
+      : St(St), Spec(Spec) {}
+
+  void onNewMethod(MethodId M);
+  void onNewCallEdge(CSCallSiteId CS, CSMethodId Callee);
+  void onNewPointsTo(PtrId P, const std::vector<CSObjId> &Delta);
+  void onNewPFGEdge(PtrId Src, PtrId Dst, EdgeOrigin Origin);
+
+  /// ptH(P): hosts associated with a pointer (for tests/diagnostics).
+  const PointsToSet &hostsOf(PtrId P) const {
+    static const PointsToSet None;
+    auto It = Hosts.find(P);
+    return It == Hosts.end() ? None : It->second;
+  }
+
+private:
+  /// A call site subscribed to its receiver's hosts, with the container
+  /// role of the resolved callee.
+  struct Sub {
+    StmtId S;
+    MethodId Callee;
+  };
+
+  /// Per (host object, element category): matched Sources and Targets.
+  struct Matches {
+    std::vector<PtrId> Sources;
+    std::vector<PtrId> Targets;
+    std::unordered_set<PtrId> SeenSources;
+    std::unordered_set<PtrId> SeenTargets;
+  };
+
+  void pendHost(PtrId P, ObjId H);
+  void drain();
+  void processSub(const Sub &SubInfo, ObjId Host);
+  void addSource(ObjId H, ElemCategory C, PtrId Src);
+  void addTarget(ObjId H, ElemCategory C, PtrId Tgt);
+  static uint64_t edgeKey(PtrId S, PtrId T) {
+    return (static_cast<uint64_t>(S) << 32) | T;
+  }
+  static uint64_t matchKey(ObjId H, ElemCategory C) {
+    return (static_cast<uint64_t>(H) << 2) | static_cast<uint64_t>(C);
+  }
+
+  CscState &St;
+  const ContainerSpec &Spec;
+
+  std::unordered_map<PtrId, std::vector<Sub>> RecvSubs;
+  std::unordered_set<uint64_t> SeenSubs; ///< (recvPtr, stmt) dedup.
+  std::unordered_map<PtrId, PointsToSet> Hosts;
+  std::unordered_map<uint64_t, Matches> MatchesByHostCat;
+  std::unordered_set<uint64_t> ExcludedEdges; ///< Transfer return edges.
+  std::deque<std::pair<PtrId, ObjId>> HostWL;
+  bool Draining = false;
+};
+
+} // namespace csc
+
+#endif // CSC_CSC_CONTAINERPATTERN_H

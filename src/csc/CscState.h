@@ -1,0 +1,82 @@
+//===- CscState.h - Shared state of the Cut-Shortcut patterns ---*- C++ -*-===//
+//
+// Part of the Cut-Shortcut pointer analysis reproduction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// State shared by the three pattern implementations: the solver handle,
+/// deduplicated counters for cut/shortcut statistics, and the "involved
+/// methods" set reported in the paper's Table 3.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CSC_CSC_CSCSTATE_H
+#define CSC_CSC_CSCSTATE_H
+
+#include "pta/Solver.h"
+
+#include <unordered_set>
+
+namespace csc {
+
+struct CutShortcutStats {
+  uint64_t CutStores = 0;
+  uint64_t CutReturns = 0;
+  uint64_t ShortcutEdges = 0;
+  /// Methods involved in cut or shortcut edges (Table 3 metric).
+  std::unordered_set<MethodId> Involved;
+};
+
+/// Thin wrapper over the solver's Fig. 7 sets with deduplicated counting.
+struct CscState {
+  Solver *S = nullptr;
+  CutShortcutStats Stats;
+
+  void cutStore(StmtId St) {
+    if (!S->isCutStore(St)) {
+      S->addCutStore(St);
+      ++Stats.CutStores;
+    }
+  }
+  void cutReturn(VarId V) {
+    if (!S->isCutReturn(V)) {
+      S->addCutReturn(V);
+      ++Stats.CutReturns;
+    }
+  }
+  bool shortcut(PtrId Src, PtrId Dst) {
+    if (!S->addShortcutEdge(Src, Dst))
+      return false;
+    ++Stats.ShortcutEdges;
+    return true;
+  }
+  void involve(MethodId M) { Stats.Involved.insert(M); }
+  void involveVar(VarId V) { involve(S->program().var(V).Method); }
+
+  /// The call-argument index of \p V if it is a never-redefined parameter
+  /// of \p M ([Arg2Var]'s def_x = ∅ requirement); InvalidId otherwise.
+  /// Index 0 is `this` for instance methods.
+  uint32_t paramIndexOf(MethodId M, VarId V) const {
+    const Program &P = S->program();
+    if (!P.var(V).Defs.empty())
+      return InvalidId;
+    const MethodInfo &MI = P.method(M);
+    for (size_t K = 0; K != MI.Params.size(); ++K)
+      if (MI.Params[K] == V)
+        return static_cast<uint32_t>(K);
+    return InvalidId;
+  }
+
+  /// True if \p V is one of \p M's return variables.
+  bool isRetVar(MethodId M, VarId V) const {
+    for (VarId R : S->program().method(M).RetVars)
+      if (R == V)
+        return true;
+    return false;
+  }
+};
+
+} // namespace csc
+
+#endif // CSC_CSC_CSCSTATE_H

@@ -1,0 +1,134 @@
+//===- FieldAccessPattern.h - §3.2 / Figs. 8–9 ------------------*- C++ -*-===//
+//
+// Part of the Cut-Shortcut pointer analysis reproduction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The field access pattern of Cut-Shortcut (§3.2, formalized in Figs. 8
+/// and 9):
+///
+///  * Store side — a store `x.f = y` whose base and source are both
+///    never-redefined parameters merges argument flows from every call
+///    site; the store edges are cut ([CutStore]) and tempStores are
+///    propagated up nested call chains ([PropStore]) until they anchor at
+///    a level where base/source are not pass-through parameters, where
+///    shortcut edges `from -> o.f` are emitted ([ShortcutStore]).
+///
+///  * Load side — a load `to = base.f` whose base is a never-redefined
+///    parameter and whose target is a return variable returns merged
+///    loads; the return edges are cut and tempLoads propagate to callers
+///    ([CutPropLoad]), emitting `o.f -> lhs` shortcuts ([ShortcutLoad]).
+///    In-edges of the cut return variable that did not come from the
+///    qualifying loads (tracked as returnLoadEdges) are relayed to every
+///    call-site LHS to preserve soundness ([RelayEdge]).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CSC_CSC_FIELDACCESSPATTERN_H
+#define CSC_CSC_FIELDACCESSPATTERN_H
+
+#include "csc/CscState.h"
+
+#include <unordered_map>
+#include <unordered_set>
+
+namespace csc {
+
+class FieldAccessPattern {
+public:
+  FieldAccessPattern(CscState &St, bool HandleStores, bool HandleLoads)
+      : St(St), HandleStores(HandleStores), HandleLoads(HandleLoads) {}
+
+  void onNewMethod(MethodId M);
+  void onNewCallEdge(CSCallSiteId CS, CSMethodId Callee);
+  void onNewPointsTo(PtrId P, const std::vector<CSObjId> &Delta);
+  void onNewPFGEdge(PtrId Src, PtrId Dst, EdgeOrigin Origin);
+  void onFixpoint();
+
+private:
+  // --- Store side ---
+
+  /// A tempStore still travelling up the call chain: `Base.F = From` where
+  /// Base/From are the KBase/KFrom-th parameters of the hosting method.
+  struct PropStore {
+    VarId Base;
+    FieldId F;
+    VarId From;
+    uint32_t KBase;
+    uint32_t KFrom;
+  };
+  /// A tempStore that anchored: shortcut `From -> o.F` for o in pt(Base).
+  struct TerminalStore {
+    FieldId F;
+    VarId From;
+  };
+
+  void addTempStore(MethodId InMethod, VarId Base, FieldId F, VarId From);
+  void propagateStoreToCaller(const PropStore &PS, const Stmt &CallStmt);
+
+  std::unordered_map<MethodId, std::vector<PropStore>> PropagatingStores;
+  std::unordered_map<VarId, std::vector<TerminalStore>> TerminalByBase;
+  /// Dedup of tempStores: (Base, From) -> fields already handled.
+  std::unordered_map<std::pair<uint32_t, uint32_t>,
+                     std::unordered_set<FieldId>, PairHash>
+      SeenTempStores;
+
+  // --- Load side ---
+
+  /// One qualifying (possibly temp) load feeding a cut return variable:
+  /// values of BaseVar (the KBase-th parameter / the call argument) are
+  /// loaded through field F.
+  struct LoadEntry {
+    uint32_t KBase;
+    FieldId F;
+    VarId BaseVar;
+  };
+  /// A tempLoad that anchored at a call site: shortcut `o.F -> Target`
+  /// for o in pt of the base argument.
+  struct TerminalLoad {
+    FieldId F;
+    VarId Target;
+  };
+
+  void registerCutLoadVar(MethodId M, VarId RetV, LoadEntry E);
+  void processLoadCallEdge(const Stmt &CallStmt, MethodId Callee);
+  bool isReturnLoadEdge(VarId RetV, PtrId Src) const;
+  void markNestedCandidates(MethodId M);
+
+  std::unordered_map<VarId, std::vector<LoadEntry>> CutLoadRets;
+  std::unordered_map<MethodId, std::vector<VarId>> CutLoadVarsByMethod;
+  std::unordered_map<VarId, std::vector<PtrId>> RelayTargets;
+  std::unordered_map<VarId, std::unordered_set<PtrId>> RelaySeen;
+  std::unordered_map<VarId, std::vector<PtrId>> NonRLEIn;
+  std::unordered_map<VarId, std::unordered_set<PtrId>> NonRLESeen;
+  std::unordered_map<VarId, std::vector<TerminalLoad>> TermLoadByBase;
+  /// Dedup of tempLoads: (Target, Base) -> fields already handled.
+  std::unordered_map<std::pair<uint32_t, uint32_t>,
+                     std::unordered_set<FieldId>, PairHash>
+      SeenTempLoads;
+  /// Deferred-return bookkeeping: invoke statements whose resolution
+  /// decides the deferred LHS variable's fate.
+  std::unordered_map<StmtId, VarId> FlushOnResolve;
+  /// Chains: a deferred variable waiting on a callee return variable that
+  /// is itself still deferred (3+-level nested accessors).
+  struct DeferDep {
+    StmtId CallStmt;
+    MethodId Callee;
+    VarId Var;
+  };
+  std::unordered_map<VarId, std::vector<DeferDep>> DeferDeps;
+  std::vector<VarId> DeferredRegistry;
+
+  void decideDeferred(StmtId CallStmt, MethodId Callee, VarId V);
+  void undeferAndNotify(VarId V);
+  void resolveDependents(VarId V);
+
+  CscState &St;
+  bool HandleStores;
+  bool HandleLoads;
+};
+
+} // namespace csc
+
+#endif // CSC_CSC_FIELDACCESSPATTERN_H

@@ -1,0 +1,120 @@
+//===- LocalFlowPattern.cpp - §3.4 / Fig. 11 -------------------------------===//
+//
+// Part of the Cut-Shortcut pointer analysis reproduction.
+//
+//===----------------------------------------------------------------------===//
+
+#include "csc/LocalFlowPattern.h"
+
+#include <bit>
+
+using namespace csc;
+
+std::unordered_map<VarId, uint64_t>
+LocalFlowPattern::computeFlows(MethodId M) const {
+  const Program &P = St.S->program();
+  const MethodInfo &MI = P.method(M);
+  std::unordered_map<VarId, uint64_t> Mask;
+  if (MI.Params.size() > 64)
+    return Mask; // Mask width exceeded; pattern disabled for this method.
+
+  // [Param2Var]: never-redefined parameters qualify with their own index.
+  // Parameters with definitions do NOT qualify: their values mix incoming
+  // arguments with the redefinitions, which the shortcut edges could not
+  // cover soundly.
+  for (size_t K = 0; K != MI.Params.size(); ++K)
+    if (P.var(MI.Params[K]).Defs.empty())
+      Mask[MI.Params[K]] = 1ULL << K;
+
+  // [Param2VarRec]: least fixed point — x qualifies if it has definitions
+  // and every definition is a local assignment from a qualifying variable.
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (VarId V : MI.Vars) {
+      const VarInfo &VI = P.var(V);
+      if (VI.Defs.empty())
+        continue;
+      // Parameters never re-qualify through definitions (see above).
+      bool IsParam = false;
+      for (VarId PV : MI.Params)
+        IsParam = IsParam || PV == V;
+      if (IsParam)
+        continue;
+      uint64_t Combined = 0;
+      bool AllQualify = true;
+      for (StmtId D : VI.Defs) {
+        const Stmt &DS = P.stmt(D);
+        if (DS.Kind != StmtKind::Assign) {
+          AllQualify = false;
+          break;
+        }
+        auto It = Mask.find(DS.From);
+        if (It == Mask.end() || It->second == 0) {
+          AllQualify = false;
+          break;
+        }
+        Combined |= It->second;
+      }
+      if (!AllQualify)
+        continue;
+      uint64_t &Cur = Mask[V];
+      if (Cur != Combined) {
+        Cur = Combined;
+        Changed = true;
+      }
+    }
+  }
+  return Mask;
+}
+
+uint64_t LocalFlowPattern::paramMaskOf(MethodId M, VarId V) {
+  auto Flows = computeFlows(M);
+  auto It = Flows.find(V);
+  return It == Flows.end() ? 0 : It->second;
+}
+
+void LocalFlowPattern::onNewMethod(MethodId M) {
+  const Program &P = St.S->program();
+  const MethodInfo &MI = P.method(M);
+  if (MI.RetVars.empty())
+    return;
+  auto Flows = computeFlows(M);
+  std::vector<CutRet> Cuts;
+  for (VarId RV : MI.RetVars) {
+    auto It = Flows.find(RV);
+    if (It == Flows.end() || It->second == 0)
+      continue;
+    // [CutLFlow].
+    St.cutReturn(RV);
+    St.involve(M);
+    Cuts.push_back({RV, It->second});
+  }
+  if (!Cuts.empty())
+    CutRets.emplace(M, std::move(Cuts));
+}
+
+void LocalFlowPattern::onNewCallEdge(CSCallSiteId CS, CSMethodId Callee) {
+  CallGraph &CG = St.S->callGraph();
+  MethodId M = CG.csMethod(Callee).M;
+  auto It = CutRets.find(M);
+  if (It == CutRets.end())
+    return;
+  const Program &P = St.S->program();
+  const Stmt &S = P.stmt(P.callSite(CG.csCallSite(CS).CS).S);
+  if (S.To == InvalidId)
+    return;
+  St.involve(S.Method);
+  PtrId TargetPtr = St.S->varPtrCI(S.To);
+  for (const CutRet &CR : It->second) {
+    // [ShortcutLFlow]: argument k -> call-site LHS for each flowing k.
+    uint64_t Mask = CR.Mask;
+    while (Mask) {
+      unsigned K = std::countr_zero(Mask);
+      Mask &= Mask - 1;
+      VarId Arg = P.callArg(S, K);
+      if (Arg != InvalidId)
+        St.shortcut(St.S->varPtrCI(Arg), TargetPtr);
+    }
+  }
+}

@@ -1,0 +1,146 @@
+//===- Lexer.cpp - Tokenizer for the .jir textual IR ----------------------===//
+//
+// Part of the Cut-Shortcut pointer analysis reproduction.
+//
+//===----------------------------------------------------------------------===//
+
+#include "frontend/Lexer.h"
+
+using namespace csc;
+
+static bool isIdentStart(char C) {
+  return (C >= 'a' && C <= 'z') || (C >= 'A' && C <= 'Z') || C == '_' ||
+         C == '$' || C == '<' || C == '>';
+}
+
+static bool isIdentChar(char C) {
+  return isIdentStart(C) || (C >= '0' && C <= '9');
+}
+
+std::vector<Token> csc::lex(const std::string &Source) {
+  std::vector<Token> Toks;
+  uint32_t Line = 1, Col = 1;
+  size_t I = 0, N = Source.size();
+
+  auto push = [&](TokKind K, std::string Text, uint32_t L, uint32_t C) {
+    Toks.push_back({K, std::move(Text), L, C});
+  };
+
+  while (I < N) {
+    char C = Source[I];
+    uint32_t TokLine = Line, TokCol = Col;
+
+    // Whitespace.
+    if (C == ' ' || C == '\t' || C == '\r') {
+      ++I;
+      ++Col;
+      continue;
+    }
+    if (C == '\n') {
+      ++I;
+      ++Line;
+      Col = 1;
+      continue;
+    }
+    // Comments.
+    if (C == '/' && I + 1 < N && Source[I + 1] == '/') {
+      while (I < N && Source[I] != '\n')
+        ++I;
+      continue;
+    }
+    if (C == '/' && I + 1 < N && Source[I + 1] == '*') {
+      I += 2;
+      Col += 2;
+      while (I + 1 < N && !(Source[I] == '*' && Source[I + 1] == '/')) {
+        if (Source[I] == '\n') {
+          ++Line;
+          Col = 1;
+        } else {
+          ++Col;
+        }
+        ++I;
+      }
+      if (I + 1 < N) {
+        I += 2;
+        Col += 2;
+      } else {
+        push(TokKind::Error, "unterminated block comment", TokLine, TokCol);
+        I = N;
+      }
+      continue;
+    }
+
+    if (isIdentStart(C)) {
+      size_t Start = I;
+      while (I < N && isIdentChar(Source[I])) {
+        ++I;
+        ++Col;
+      }
+      push(TokKind::Ident, Source.substr(Start, I - Start), TokLine, TokCol);
+      continue;
+    }
+
+    auto single = [&](TokKind K) {
+      push(K, std::string(1, C), TokLine, TokCol);
+      ++I;
+      ++Col;
+    };
+
+    switch (C) {
+    case '{':
+      single(TokKind::LBrace);
+      break;
+    case '}':
+      single(TokKind::RBrace);
+      break;
+    case '(':
+      single(TokKind::LParen);
+      break;
+    case ')':
+      single(TokKind::RParen);
+      break;
+    case '[':
+      single(TokKind::LBracket);
+      break;
+    case ']':
+      single(TokKind::RBracket);
+      break;
+    case ',':
+      single(TokKind::Comma);
+      break;
+    case ';':
+      single(TokKind::Semi);
+      break;
+    case '.':
+      single(TokKind::Dot);
+      break;
+    case '=':
+      single(TokKind::Eq);
+      break;
+    case '?':
+      single(TokKind::Question);
+      break;
+    case '*':
+      single(TokKind::Star);
+      break;
+    case ':':
+      if (I + 1 < N && Source[I + 1] == ':') {
+        push(TokKind::ColonColon, "::", TokLine, TokCol);
+        I += 2;
+        Col += 2;
+      } else {
+        single(TokKind::Colon);
+      }
+      break;
+    default:
+      push(TokKind::Error, std::string("unexpected character '") + C + "'",
+           TokLine, TokCol);
+      ++I;
+      ++Col;
+      break;
+    }
+  }
+
+  push(TokKind::Eof, "", Line, Col);
+  return Toks;
+}

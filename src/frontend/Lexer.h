@@ -1,0 +1,56 @@
+//===- Lexer.h - Tokenizer for the .jir textual IR --------------*- C++ -*-===//
+//
+// Part of the Cut-Shortcut pointer analysis reproduction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Hand-written tokenizer for the `.jir` syntax. Produces the whole token
+/// stream up front (the grammar is small and files are modest), which keeps
+/// the parser's lookahead trivial.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CSC_FRONTEND_LEXER_H
+#define CSC_FRONTEND_LEXER_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace csc {
+
+enum class TokKind : uint8_t {
+  Ident,      // identifiers and keywords (parser distinguishes)
+  LBrace,     // {
+  RBrace,     // }
+  LParen,     // (
+  RParen,     // )
+  LBracket,   // [
+  RBracket,   // ]
+  Comma,      // ,
+  Semi,       // ;
+  Colon,      // :
+  ColonColon, // ::
+  Dot,        // .
+  Eq,         // =
+  Question,   // ?
+  Star,       // *
+  Eof,
+  Error,
+};
+
+struct Token {
+  TokKind Kind = TokKind::Eof;
+  std::string Text;
+  uint32_t Line = 0;
+  uint32_t Col = 0;
+};
+
+/// Tokenizes \p Source. Lexical errors become TokKind::Error tokens whose
+/// Text holds the message; the stream always ends with an Eof token.
+std::vector<Token> lex(const std::string &Source);
+
+} // namespace csc
+
+#endif // CSC_FRONTEND_LEXER_H

@@ -1,0 +1,145 @@
+//===- Parser.h - Recursive-descent parser for .jir -------------*- C++ -*-===//
+//
+// Part of the Cut-Shortcut pointer analysis reproduction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Parses `.jir` sources into a Program. Multiple sources may be parsed
+/// into the same program (the modelled standard library first, then user
+/// code); cross-source references are resolved by finalize().
+///
+/// Grammar sketch:
+/// \code
+///   program   := classDecl*
+///   classDecl := ["abstract"] "class" ID ["extends" ID]
+///                  ["implements" ID ("," ID)*] "{" member* "}"
+///              | "interface" ID ["extends" ID ("," ID)*] "{" sig* "}"
+///   member    := ["static"] "field" ID ":" type ";"
+///              | ["static"] ["abstract"] "method" ID "(" params? ")"
+///                  ":" type (block | ";")
+///   type      := ID ("[]")*              -- "void" only as return type
+///   stmt      := "var" ID ":" type ";"
+///              | ID "=" "new" type ";"
+///              | ID "=" "(" type ")" ID ";"
+///              | ID "=" ID ";"
+///              | ID "=" ID "." ID ";"        | ID "." ID "=" ID ";"
+///              | ID "=" ID "[" "*" "]" ";"   | ID "[" "*" "]" "=" ID ";"
+///              | ID "=" ID "::" ID ";"       | ID "::" ID "=" ID ";"
+///              | [ID "="] "call"  ID "." ID "(" args? ")" ";"
+///              | [ID "="] "scall" ID "." ID "(" args? ")" ";"
+///              | [ID "="] "dcall" ID "." ID "." ID "(" args? ")" ";"
+///              | "return" [ID] ";"
+///              | "if" "?" block ["else" block]
+/// \endcode
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CSC_FRONTEND_PARSER_H
+#define CSC_FRONTEND_PARSER_H
+
+#include "frontend/Lexer.h"
+#include "ir/IRBuilder.h"
+#include "ir/Program.h"
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace csc {
+
+/// Builds IR from `.jir` text. Collects diagnostics instead of throwing.
+class Parser {
+public:
+  explicit Parser(Program &P) : P(P) {}
+
+  /// Parses one source buffer; returns false if any diagnostic was emitted.
+  bool parseSource(const std::string &Source, const std::string &FileName);
+
+  /// Resolves deferred references (fields, static/special callees, entry
+  /// point). Must be called once after all sources are parsed.
+  bool finalize();
+
+  const std::vector<std::string> &diagnostics() const { return Diags; }
+
+private:
+  // Token stream helpers.
+  const Token &cur() const { return Toks[Pos]; }
+  const Token &peek(size_t N = 1) const {
+    size_t I = Pos + N;
+    return I < Toks.size() ? Toks[I] : Toks.back();
+  }
+  void advance() {
+    if (Pos + 1 < Toks.size())
+      ++Pos;
+  }
+  bool at(TokKind K) const { return cur().Kind == K; }
+  bool atIdent(const char *KW) const {
+    return cur().Kind == TokKind::Ident && cur().Text == KW;
+  }
+  bool accept(TokKind K);
+  bool acceptIdent(const char *KW);
+  bool expect(TokKind K, const char *What);
+  std::string expectIdent(const char *What);
+  void error(const std::string &Msg);
+  void errorAt(uint32_t Line, const std::string &Msg);
+  void syncToStmtEnd();
+
+  // Grammar productions.
+  void parseClassDecl();
+  void parseInterfaceBody(TypeId T);
+  void parseClassBody(TypeId T);
+  void parseFieldDecl(TypeId T, bool IsStatic);
+  void parseMethodDecl(TypeId T, bool IsStatic, bool IsAbstract);
+  TypeId parseType(bool AllowVoid);
+  void parseBlock(MethodBuilder &MB);
+  void parseStmt(MethodBuilder &MB);
+  std::vector<VarId> parseArgs();
+  VarId lookupVar(const std::string &Name);
+
+  // Deferred resolutions.
+  struct PendingField {
+    StmtId S;
+    std::string Name;
+    std::string Where;
+  };
+  struct PendingCall {
+    StmtId S;
+    std::string ClassName;
+    std::string Name;
+    size_t Arity;
+    bool IsSpecial;
+    std::string Where;
+  };
+  struct PendingStaticField {
+    StmtId S;
+    std::string ClassName;
+    std::string Name;
+    std::string Where;
+  };
+
+  std::string here() const;
+
+  Program &P;
+  std::vector<Token> Toks;
+  size_t Pos = 0;
+  std::string File;
+  std::vector<std::string> Diags;
+  size_t DiagsAtSourceStart = 0;
+
+  std::unordered_map<std::string, VarId> Scope; ///< Current method scope.
+  std::vector<PendingField> PendingFields;
+  std::vector<PendingCall> PendingCalls;
+  std::vector<PendingStaticField> PendingStaticFields;
+};
+
+/// Convenience: parse sources in order into \p P and finalize.
+/// Appends diagnostics to \p Diags; returns true on success.
+bool parseProgram(Program &P,
+                  const std::vector<std::pair<std::string, std::string>>
+                      &NamedSources,
+                  std::vector<std::string> &Diags);
+
+} // namespace csc
+
+#endif // CSC_FRONTEND_PARSER_H

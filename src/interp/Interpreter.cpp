@@ -1,0 +1,260 @@
+//===- Interpreter.cpp - Concrete IR interpreter ---------------------------===//
+//
+// Part of the Cut-Shortcut pointer analysis reproduction.
+//
+//===----------------------------------------------------------------------===//
+
+#include "interp/Interpreter.h"
+
+#include "support/Rng.h"
+
+#include <cassert>
+#include <vector>
+
+using namespace csc;
+
+void DynamicFacts::merge(const DynamicFacts &Other) {
+  ReachedMethods.insert(Other.ReachedMethods.begin(),
+                        Other.ReachedMethods.end());
+  CallEdges.insert(Other.CallEdges.begin(), Other.CallEdges.end());
+  for (const auto &[V, Objs] : Other.VarPointsTo)
+    VarPointsTo[V].insert(Objs.begin(), Objs.end());
+  for (const auto &[K, Objs] : Other.FieldPointsTo)
+    FieldPointsTo[K].insert(Objs.begin(), Objs.end());
+  for (const auto &[K, Objs] : Other.ArrayPointsTo)
+    ArrayPointsTo[K].insert(Objs.begin(), Objs.end());
+  for (const auto &[K, Objs] : Other.StaticPointsTo)
+    StaticPointsTo[K].insert(Objs.begin(), Objs.end());
+  FailedCasts.insert(Other.FailedCasts.begin(), Other.FailedCasts.end());
+  Steps += Other.Steps;
+  Truncated = Truncated || Other.Truncated;
+}
+
+namespace {
+
+/// References are 1-based heap indices; 0 is null.
+using Ref = uint32_t;
+constexpr Ref Null = 0;
+
+struct HeapObj {
+  ObjId Alloc = InvalidId;
+  TypeId Type = InvalidId;
+  std::unordered_map<FieldId, Ref> Fields;
+  std::vector<Ref> Elems; ///< Array storage.
+};
+
+class Interp {
+public:
+  Interp(const Program &P, const InterpOptions &Opts)
+      : P(P), Opts(Opts), R(Opts.Seed) {}
+
+  DynamicFacts run() {
+    if (P.entry() != InvalidId)
+      callMethod(P.entry(), Null, {}, 0);
+    return std::move(Facts);
+  }
+
+private:
+  struct Frame {
+    std::unordered_map<VarId, Ref> Locals;
+    Ref RetVal = Null;
+    bool Returned = false;
+  };
+
+  Ref allocate(const Stmt &S) {
+    HeapObj O;
+    O.Alloc = S.Obj;
+    O.Type = S.Type;
+    Heap.push_back(std::move(O));
+    return static_cast<Ref>(Heap.size()); // 1-based.
+  }
+
+  HeapObj &deref(Ref R) {
+    assert(R != Null && "null dereference");
+    return Heap[R - 1];
+  }
+
+  void setVar(Frame &F, VarId V, Ref Val) {
+    F.Locals[V] = Val;
+    if (Val != Null)
+      Facts.VarPointsTo[V].insert(deref(Val).Alloc);
+  }
+
+  Ref getVar(Frame &F, VarId V) const {
+    auto It = F.Locals.find(V);
+    return It == F.Locals.end() ? Null : It->second;
+  }
+
+  bool budgetExceeded() {
+    if (++Facts.Steps > Opts.MaxSteps) {
+      Facts.Truncated = true;
+      return true;
+    }
+    return false;
+  }
+
+  /// Returns the callee's return value (Null for void / skipped calls).
+  Ref callMethod(MethodId M, Ref This, const std::vector<Ref> &Args,
+                 uint32_t Depth) {
+    if (Depth > Opts.MaxDepth) {
+      Facts.Truncated = true;
+      return Null;
+    }
+    Facts.ReachedMethods.insert(M);
+    const MethodInfo &MI = P.method(M);
+    Frame F;
+    size_t FirstParam = 0;
+    if (!MI.IsStatic) {
+      setVar(F, MI.Params[0], This);
+      FirstParam = 1;
+    }
+    for (size_t I = 0; I + FirstParam < MI.Params.size(); ++I)
+      setVar(F, MI.Params[FirstParam + I], I < Args.size() ? Args[I] : Null);
+    execBlock(F, MI.Body, Depth);
+    return F.RetVal;
+  }
+
+  void execBlock(Frame &F, const std::vector<StmtId> &Body, uint32_t Depth) {
+    for (StmtId S : Body) {
+      if (F.Returned || Facts.Truncated)
+        return;
+      execStmt(F, S, Depth);
+    }
+  }
+
+  void execStmt(Frame &F, StmtId SId, uint32_t Depth) {
+    if (budgetExceeded())
+      return;
+    const Stmt &S = P.stmt(SId);
+    switch (S.Kind) {
+    case StmtKind::New:
+    case StmtKind::NewArray:
+      setVar(F, S.To, allocate(S));
+      break;
+    case StmtKind::Assign:
+      setVar(F, S.To, getVar(F, S.From));
+      break;
+    case StmtKind::Cast: {
+      Ref V = getVar(F, S.From);
+      if (V != Null && !P.isSubtype(deref(V).Type, S.Type)) {
+        // ClassCastException: record and leave the target unassigned.
+        Facts.FailedCasts.insert(SId);
+        break;
+      }
+      setVar(F, S.To, V);
+      break;
+    }
+    case StmtKind::Load: {
+      Ref Base = getVar(F, S.Base);
+      if (Base == Null)
+        break; // NPE path: no facts to record.
+      auto It = deref(Base).Fields.find(S.Field);
+      setVar(F, S.To, It == deref(Base).Fields.end() ? Null : It->second);
+      break;
+    }
+    case StmtKind::Store: {
+      Ref Base = getVar(F, S.Base);
+      Ref Val = getVar(F, S.From);
+      if (Base == Null)
+        break;
+      deref(Base).Fields[S.Field] = Val;
+      if (Val != Null)
+        Facts
+            .FieldPointsTo[(static_cast<uint64_t>(deref(Base).Alloc) << 32) |
+                           S.Field]
+            .insert(deref(Val).Alloc);
+      break;
+    }
+    case StmtKind::ArrayLoad: {
+      Ref Base = getVar(F, S.Base);
+      if (Base == Null || deref(Base).Elems.empty())
+        break;
+      // Index-free IR: read a random element.
+      Ref V = deref(Base).Elems[R.nextInRange(
+          static_cast<uint32_t>(deref(Base).Elems.size()))];
+      setVar(F, S.To, V);
+      break;
+    }
+    case StmtKind::ArrayStore: {
+      Ref Base = getVar(F, S.Base);
+      Ref Val = getVar(F, S.From);
+      if (Base == Null || Val == Null)
+        break;
+      deref(Base).Elems.push_back(Val);
+      Facts.ArrayPointsTo[deref(Base).Alloc].insert(deref(Val).Alloc);
+      break;
+    }
+    case StmtKind::StaticLoad:
+      setVar(F, S.To, Statics.count(S.Field) ? Statics[S.Field] : Null);
+      break;
+    case StmtKind::StaticStore: {
+      Ref Val = getVar(F, S.From);
+      Statics[S.Field] = Val;
+      if (Val != Null)
+        Facts.StaticPointsTo[S.Field].insert(deref(Val).Alloc);
+      break;
+    }
+    case StmtKind::Invoke: {
+      MethodId Callee = InvalidId;
+      Ref This = Null;
+      if (S.IKind == InvokeKind::Static) {
+        Callee = S.DirectCallee;
+      } else {
+        This = getVar(F, S.Base);
+        if (This == Null)
+          break; // NPE path.
+        Callee = S.IKind == InvokeKind::Virtual
+                     ? P.dispatch(deref(This).Type, S.Subsig)
+                     : S.DirectCallee;
+        if (Callee == InvalidId)
+          break;
+      }
+      Facts.CallEdges.insert((static_cast<uint64_t>(S.CallSite) << 32) |
+                             Callee);
+      std::vector<Ref> Args;
+      Args.reserve(S.Args.size());
+      for (VarId A : S.Args)
+        Args.push_back(getVar(F, A));
+      Ref Result = callMethod(Callee, This, Args, Depth + 1);
+      if (S.To != InvalidId)
+        setVar(F, S.To, Result);
+      break;
+    }
+    case StmtKind::Return:
+      if (S.From != InvalidId)
+        F.RetVal = getVar(F, S.From);
+      F.Returned = true;
+      break;
+    case StmtKind::If:
+      if (R.nextBool())
+        execBlock(F, S.ThenBody, Depth);
+      else
+        execBlock(F, S.ElseBody, Depth);
+      break;
+    }
+  }
+
+  const Program &P;
+  InterpOptions Opts;
+  Rng R;
+  DynamicFacts Facts;
+  std::vector<HeapObj> Heap;
+  std::unordered_map<FieldId, Ref> Statics;
+};
+
+} // namespace
+
+DynamicFacts csc::interpret(const Program &P, const InterpOptions &Opts) {
+  return Interp(P, Opts).run();
+}
+
+DynamicFacts csc::interpretManySeeds(const Program &P, unsigned NumSeeds,
+                                     const InterpOptions &Base) {
+  DynamicFacts All;
+  for (unsigned I = 1; I <= NumSeeds; ++I) {
+    InterpOptions O = Base;
+    O.Seed = I;
+    All.merge(interpret(P, O));
+  }
+  return All;
+}

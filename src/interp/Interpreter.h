@@ -1,0 +1,66 @@
+//===- Interpreter.h - Concrete IR interpreter ------------------*- C++ -*-===//
+//
+// Part of the Cut-Shortcut pointer analysis reproduction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A concrete interpreter of the IR, standing in for the instrumented JVM
+/// runs of the paper's recall experiment (§5.1): it executes the program
+/// (resolving `if ?` branches with a seeded RNG) and records the methods
+/// reached, call edges taken, concrete points-to facts, and casts that
+/// actually failed. Every sound static analysis must over-approximate
+/// these facts — the property the recall bench and tests check.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CSC_INTERP_INTERPRETER_H
+#define CSC_INTERP_INTERPRETER_H
+
+#include "ir/Program.h"
+#include "support/Hash.h"
+
+#include <unordered_map>
+#include <unordered_set>
+
+namespace csc {
+
+struct InterpOptions {
+  uint64_t Seed = 1;
+  uint64_t MaxSteps = 1000000;
+  uint32_t MaxDepth = 256;
+};
+
+/// Under-approximate ground truth from one execution.
+struct DynamicFacts {
+  std::unordered_set<MethodId> ReachedMethods;
+  /// (CallSiteId << 32 | MethodId) pairs.
+  std::unordered_set<uint64_t> CallEdges;
+  std::unordered_map<VarId, std::unordered_set<ObjId>> VarPointsTo;
+  /// (base allocation site << 32 | FieldId) -> pointed-to allocation sites.
+  std::unordered_map<uint64_t, std::unordered_set<ObjId>> FieldPointsTo;
+  std::unordered_map<ObjId, std::unordered_set<ObjId>> ArrayPointsTo;
+  std::unordered_map<FieldId, std::unordered_set<ObjId>> StaticPointsTo;
+  /// Cast statements that threw at run time.
+  std::unordered_set<StmtId> FailedCasts;
+  uint64_t Steps = 0;
+  bool Truncated = false; ///< Step/depth budget was hit.
+
+  bool hasCallEdge(CallSiteId CS, MethodId M) const {
+    return CallEdges.count((static_cast<uint64_t>(CS) << 32) | M) != 0;
+  }
+
+  /// Merges the facts of another run (multi-seed recall experiments).
+  void merge(const DynamicFacts &Other);
+};
+
+/// Executes the program from its entry point.
+DynamicFacts interpret(const Program &P, const InterpOptions &Opts = {});
+
+/// Convenience: merged facts over seeds 1..NumSeeds.
+DynamicFacts interpretManySeeds(const Program &P, unsigned NumSeeds,
+                                const InterpOptions &Base = {});
+
+} // namespace csc
+
+#endif // CSC_INTERP_INTERPRETER_H

@@ -1,0 +1,227 @@
+//===- Printer.cpp - Pretty printer for the textual IR --------------------===//
+//
+// Part of the Cut-Shortcut pointer analysis reproduction.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Printer.h"
+
+#include <cassert>
+#include <sstream>
+
+using namespace csc;
+
+namespace {
+
+/// Stateful printer sharing the output stream and program reference.
+class PrinterImpl {
+public:
+  PrinterImpl(const Program &P, std::ostringstream &OS) : P(P), OS(OS) {}
+
+  void printAll();
+  void printStmtLine(StmtId S, int Indent);
+  std::string stmtText(StmtId S);
+
+private:
+  void printClass(TypeId T);
+  void printMethod(MethodId M);
+  void printBlock(const std::vector<StmtId> &Body, int Indent);
+  std::string typeName(TypeId T) const {
+    return T == InvalidId ? "void" : P.type(T).Name;
+  }
+  std::string varName(VarId V) const { return P.var(V).Name; }
+  void indent(int N) {
+    for (int I = 0; I < N; ++I)
+      OS << "  ";
+  }
+
+  const Program &P;
+  std::ostringstream &OS;
+};
+
+void PrinterImpl::printAll() {
+  for (TypeId T = 0; T < P.numTypes(); ++T) {
+    const TypeInfo &TI = P.type(T);
+    if (T == P.objectType() || TI.Kind == TypeKind::Array || !TI.Defined)
+      continue;
+    printClass(T);
+  }
+}
+
+void PrinterImpl::printClass(TypeId T) {
+  const TypeInfo &TI = P.type(T);
+  if (TI.Kind == TypeKind::Interface) {
+    OS << "interface " << TI.Name;
+  } else {
+    if (TI.IsAbstract)
+      OS << "abstract ";
+    OS << "class " << TI.Name;
+    if (TI.Super != InvalidId && TI.Super != P.objectType())
+      OS << " extends " << typeName(TI.Super);
+  }
+  if (!TI.Interfaces.empty()) {
+    OS << (TI.Kind == TypeKind::Interface ? " extends " : " implements ");
+    for (size_t I = 0; I != TI.Interfaces.size(); ++I)
+      OS << (I ? ", " : "") << typeName(TI.Interfaces[I]);
+  }
+  OS << " {\n";
+  for (FieldId F : TI.Fields) {
+    const FieldInfo &FI = P.field(F);
+    OS << "  " << (FI.IsStatic ? "static field " : "field ") << FI.Name
+       << ": " << typeName(FI.DeclaredType) << ";\n";
+  }
+  for (MethodId M : TI.Methods)
+    printMethod(M);
+  OS << "}\n";
+}
+
+void PrinterImpl::printMethod(MethodId M) {
+  const MethodInfo &MI = P.method(M);
+  OS << "  ";
+  if (MI.IsStatic)
+    OS << "static ";
+  if (MI.IsAbstract)
+    OS << "abstract ";
+  OS << "method " << MI.Name << "(";
+  size_t FirstParam = MI.IsStatic ? 0 : 1;
+  for (size_t I = FirstParam; I < MI.Params.size(); ++I) {
+    if (I != FirstParam)
+      OS << ", ";
+    OS << varName(MI.Params[I]) << ": "
+       << typeName(P.var(MI.Params[I]).DeclaredType);
+  }
+  OS << "): " << typeName(MI.RetType);
+  if (MI.IsAbstract) {
+    OS << ";\n";
+    return;
+  }
+  OS << " {\n";
+  // Declare non-parameter locals up front.
+  for (VarId V : MI.Vars) {
+    bool IsParam = false;
+    for (VarId PV : MI.Params)
+      IsParam = IsParam || PV == V;
+    if (!IsParam)
+      OS << "    var " << varName(V) << ": "
+         << typeName(P.var(V).DeclaredType) << ";\n";
+  }
+  printBlock(MI.Body, 2);
+  OS << "  }\n";
+}
+
+void PrinterImpl::printBlock(const std::vector<StmtId> &Body, int Indent) {
+  for (StmtId S : Body)
+    printStmtLine(S, Indent);
+}
+
+void PrinterImpl::printStmtLine(StmtId SId, int Indent) {
+  const Stmt &S = P.stmt(SId);
+  if (S.Kind == StmtKind::If) {
+    indent(Indent);
+    OS << "if ? {\n";
+    printBlock(S.ThenBody, Indent + 1);
+    indent(Indent);
+    if (!S.ElseBody.empty()) {
+      OS << "} else {\n";
+      printBlock(S.ElseBody, Indent + 1);
+      indent(Indent);
+    }
+    OS << "}\n";
+    return;
+  }
+  indent(Indent);
+  OS << stmtText(SId) << "\n";
+}
+
+std::string PrinterImpl::stmtText(StmtId SId) {
+  const Stmt &S = P.stmt(SId);
+  std::ostringstream T;
+  switch (S.Kind) {
+  case StmtKind::New:
+    T << varName(S.To) << " = new " << typeName(S.Type) << ";";
+    break;
+  case StmtKind::NewArray:
+    T << varName(S.To) << " = new "
+      << typeName(P.type(S.Type).ArrayElem) << "[];";
+    break;
+  case StmtKind::Assign:
+    T << varName(S.To) << " = " << varName(S.From) << ";";
+    break;
+  case StmtKind::Cast:
+    T << varName(S.To) << " = (" << typeName(S.Type) << ") "
+      << varName(S.From) << ";";
+    break;
+  case StmtKind::Load:
+    T << varName(S.To) << " = " << varName(S.Base) << "."
+      << P.field(S.Field).Name << ";";
+    break;
+  case StmtKind::Store:
+    T << varName(S.Base) << "." << P.field(S.Field).Name << " = "
+      << varName(S.From) << ";";
+    break;
+  case StmtKind::ArrayLoad:
+    T << varName(S.To) << " = " << varName(S.Base) << "[*];";
+    break;
+  case StmtKind::ArrayStore:
+    T << varName(S.Base) << "[*] = " << varName(S.From) << ";";
+    break;
+  case StmtKind::StaticLoad:
+    T << varName(S.To) << " = " << typeName(P.field(S.Field).Owner) << "::"
+      << P.field(S.Field).Name << ";";
+    break;
+  case StmtKind::StaticStore:
+    T << typeName(P.field(S.Field).Owner) << "::" << P.field(S.Field).Name
+      << " = " << varName(S.From) << ";";
+    break;
+  case StmtKind::Invoke: {
+    if (S.To != InvalidId)
+      T << varName(S.To) << " = ";
+    switch (S.IKind) {
+    case InvokeKind::Virtual: {
+      // Subsig is "name/arity"; strip the arity suffix.
+      const std::string &Sig = P.subsigName(S.Subsig);
+      std::string Name = Sig.substr(0, Sig.rfind('/'));
+      T << "call " << varName(S.Base) << "." << Name;
+      break;
+    }
+    case InvokeKind::Static:
+      T << "scall " << typeName(P.method(S.DirectCallee).Owner) << "."
+        << P.method(S.DirectCallee).Name;
+      break;
+    case InvokeKind::Special:
+      T << "dcall " << varName(S.Base) << "."
+        << typeName(P.method(S.DirectCallee).Owner) << "."
+        << P.method(S.DirectCallee).Name;
+      break;
+    }
+    T << "(";
+    for (size_t I = 0; I != S.Args.size(); ++I)
+      T << (I ? ", " : "") << varName(S.Args[I]);
+    T << ");";
+    break;
+  }
+  case StmtKind::Return:
+    if (S.From != InvalidId)
+      T << "return " << varName(S.From) << ";";
+    else
+      T << "return;";
+    break;
+  case StmtKind::If:
+    T << "if ? { ... }";
+    break;
+  }
+  return T.str();
+}
+
+} // namespace
+
+std::string csc::printProgram(const Program &P) {
+  std::ostringstream OS;
+  PrinterImpl(P, OS).printAll();
+  return OS.str();
+}
+
+std::string csc::printStmt(const Program &P, StmtId S) {
+  std::ostringstream OS;
+  return PrinterImpl(P, OS).stmtText(S);
+}

@@ -1,0 +1,30 @@
+//===- Printer.h - Pretty printer for the textual IR ------------*- C++ -*-===//
+//
+// Part of the Cut-Shortcut pointer analysis reproduction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Prints a Program back to the `.jir` textual syntax accepted by the
+/// frontend parser (round-trip tested).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CSC_IR_PRINTER_H
+#define CSC_IR_PRINTER_H
+
+#include "ir/Program.h"
+
+#include <string>
+
+namespace csc {
+
+/// Renders the whole program as `.jir` source.
+std::string printProgram(const Program &P);
+
+/// Renders a single statement (no trailing newline); for diagnostics.
+std::string printStmt(const Program &P, StmtId S);
+
+} // namespace csc
+
+#endif // CSC_IR_PRINTER_H

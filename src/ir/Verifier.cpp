@@ -1,0 +1,166 @@
+//===- Verifier.cpp - IR well-formedness checks ---------------------------===//
+//
+// Part of the Cut-Shortcut pointer analysis reproduction.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Verifier.h"
+
+#include <sstream>
+
+using namespace csc;
+
+namespace {
+
+class VerifierImpl {
+public:
+  explicit VerifierImpl(const Program &P) : P(P) {}
+
+  std::vector<std::string> run();
+
+private:
+  void error(const std::string &Msg) { Errors.push_back(Msg); }
+  void checkStmt(MethodId M, StmtId S);
+  void checkVarIn(MethodId M, VarId V, const char *Role, StmtId S);
+
+  const Program &P;
+  std::vector<std::string> Errors;
+};
+
+void VerifierImpl::checkVarIn(MethodId M, VarId V, const char *Role,
+                              StmtId S) {
+  if (V >= P.numVars()) {
+    std::ostringstream OS;
+    OS << "stmt " << S << ": " << Role << " variable id out of range";
+    error(OS.str());
+    return;
+  }
+  if (P.var(V).Method != M) {
+    std::ostringstream OS;
+    OS << "stmt " << S << ": " << Role << " variable '" << P.var(V).Name
+       << "' belongs to a different method";
+    error(OS.str());
+  }
+}
+
+void VerifierImpl::checkStmt(MethodId M, StmtId SId) {
+  const Stmt &S = P.stmt(SId);
+  if (S.Method != M) {
+    error("stmt owner mismatch");
+    return;
+  }
+  switch (S.Kind) {
+  case StmtKind::New:
+  case StmtKind::NewArray: {
+    checkVarIn(M, S.To, "target", SId);
+    const TypeInfo &TI = P.type(S.Type);
+    if (!TI.Defined)
+      error("allocation of undefined type '" + TI.Name + "'");
+    if (S.Kind == StmtKind::New && TI.IsAbstract)
+      error("allocation of abstract type '" + TI.Name + "'");
+    if (S.Obj == InvalidId)
+      error("allocation without object id");
+    break;
+  }
+  case StmtKind::Assign:
+    checkVarIn(M, S.To, "target", SId);
+    checkVarIn(M, S.From, "source", SId);
+    break;
+  case StmtKind::Cast:
+    checkVarIn(M, S.To, "target", SId);
+    checkVarIn(M, S.From, "source", SId);
+    if (!P.type(S.Type).Defined)
+      error("cast to undefined type '" + P.type(S.Type).Name + "'");
+    break;
+  case StmtKind::Load:
+    checkVarIn(M, S.To, "target", SId);
+    checkVarIn(M, S.Base, "base", SId);
+    if (S.Field == InvalidId || P.field(S.Field).IsStatic)
+      error("load requires an instance field");
+    break;
+  case StmtKind::Store:
+    checkVarIn(M, S.Base, "base", SId);
+    checkVarIn(M, S.From, "source", SId);
+    if (S.Field == InvalidId || P.field(S.Field).IsStatic)
+      error("store requires an instance field");
+    break;
+  case StmtKind::ArrayLoad:
+    checkVarIn(M, S.To, "target", SId);
+    checkVarIn(M, S.Base, "base", SId);
+    break;
+  case StmtKind::ArrayStore:
+    checkVarIn(M, S.Base, "base", SId);
+    checkVarIn(M, S.From, "source", SId);
+    break;
+  case StmtKind::StaticLoad:
+    checkVarIn(M, S.To, "target", SId);
+    if (S.Field == InvalidId || !P.field(S.Field).IsStatic)
+      error("static load requires a static field");
+    break;
+  case StmtKind::StaticStore:
+    checkVarIn(M, S.From, "source", SId);
+    if (S.Field == InvalidId || !P.field(S.Field).IsStatic)
+      error("static store requires a static field");
+    break;
+  case StmtKind::Invoke: {
+    if (S.To != InvalidId)
+      checkVarIn(M, S.To, "target", SId);
+    for (VarId A : S.Args)
+      checkVarIn(M, A, "argument", SId);
+    switch (S.IKind) {
+    case InvokeKind::Virtual:
+      checkVarIn(M, S.Base, "receiver", SId);
+      if (S.Subsig == InvalidId)
+        error("virtual call without subsignature");
+      break;
+    case InvokeKind::Static:
+      if (S.DirectCallee == InvalidId || !P.method(S.DirectCallee).IsStatic)
+        error("static call requires a static callee");
+      break;
+    case InvokeKind::Special:
+      checkVarIn(M, S.Base, "receiver", SId);
+      if (S.DirectCallee == InvalidId || P.method(S.DirectCallee).IsStatic)
+        error("special call requires an instance callee");
+      break;
+    }
+    if (S.CallSite == InvalidId)
+      error("call without call-site id");
+    break;
+  }
+  case StmtKind::Return:
+    if (S.From != InvalidId) {
+      checkVarIn(M, S.From, "returned", SId);
+      if (P.method(M).RetType == InvalidId)
+        error("return with value in void method " + P.methodString(M));
+    }
+    break;
+  case StmtKind::If:
+    for (StmtId T : S.ThenBody)
+      checkStmt(M, T);
+    for (StmtId E : S.ElseBody)
+      checkStmt(M, E);
+    break;
+  }
+}
+
+std::vector<std::string> VerifierImpl::run() {
+  for (TypeId T = 0; T < P.numTypes(); ++T) {
+    const TypeInfo &TI = P.type(T);
+    if (!TI.Defined)
+      error("type '" + TI.Name + "' referenced but never defined");
+  }
+  for (MethodId M = 0; M < P.numMethods(); ++M) {
+    const MethodInfo &MI = P.method(M);
+    if (MI.IsAbstract && !MI.AllStmts.empty())
+      error("abstract method " + P.methodString(M) + " has a body");
+    for (StmtId S : MI.Body)
+      checkStmt(M, S);
+  }
+  return std::move(Errors);
+}
+
+} // namespace
+
+std::vector<std::string> csc::verifyProgram(const Program &P) {
+  return VerifierImpl(P).run();
+}

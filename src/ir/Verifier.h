@@ -1,0 +1,29 @@
+//===- Verifier.h - IR well-formedness checks -------------------*- C++ -*-===//
+//
+// Part of the Cut-Shortcut pointer analysis reproduction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Structural well-formedness checks run after construction or parsing.
+/// Returns human-readable error strings rather than aborting, so the
+/// frontend can surface problems as diagnostics.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CSC_IR_VERIFIER_H
+#define CSC_IR_VERIFIER_H
+
+#include "ir/Program.h"
+
+#include <string>
+#include <vector>
+
+namespace csc {
+
+/// Checks the program; returns a list of errors (empty if well-formed).
+std::vector<std::string> verifyProgram(const Program &P);
+
+} // namespace csc
+
+#endif // CSC_IR_VERIFIER_H

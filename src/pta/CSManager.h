@@ -1,0 +1,100 @@
+//===- CSManager.h - Context-sensitive entity interning ---------*- C++ -*-===//
+//
+// Part of the Cut-Shortcut pointer analysis reproduction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Interns the context-sensitive pointers and objects the solver works on:
+/// (variable, context) pairs, (object, field) instance-field pointers,
+/// array-element pointers, static-field pointers, and (allocation site,
+/// heap context) abstract objects. All pointers share one dense PtrId space
+/// so per-pointer solver state is plain array indexing.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CSC_PTA_CSMANAGER_H
+#define CSC_PTA_CSMANAGER_H
+
+#include "support/Hash.h"
+#include "support/Ids.h"
+
+#include <unordered_map>
+#include <vector>
+
+namespace csc {
+
+enum class PtrKind : uint8_t { Var, Field, Array, Static };
+
+/// Descriptor of an interned pointer. Slot meaning depends on Kind:
+///  Var:    A = VarId,   B = CtxId
+///  Field:  A = CSObjId, B = FieldId
+///  Array:  A = CSObjId
+///  Static: A = FieldId
+struct PtrInfo {
+  PtrKind Kind;
+  uint32_t A = InvalidId;
+  uint32_t B = InvalidId;
+};
+
+/// An abstract object qualified by its heap context.
+struct CSObjInfo {
+  ObjId O = InvalidId;
+  CtxId HeapCtx = InvalidId;
+};
+
+class CSManager {
+public:
+  PtrId getVarPtr(VarId V, CtxId C) {
+    return internPtr(VarPtrs, {V, C}, PtrKind::Var, V, C);
+  }
+  PtrId getFieldPtr(CSObjId O, FieldId F) {
+    return internPtr(FieldPtrs, {O, F}, PtrKind::Field, O, F);
+  }
+  PtrId getArrayPtr(CSObjId O) {
+    return internPtr(ArrayPtrs, {O, 0}, PtrKind::Array, O, 0);
+  }
+  PtrId getStaticPtr(FieldId F) {
+    return internPtr(StaticPtrs, {F, 0}, PtrKind::Static, F, 0);
+  }
+
+  CSObjId getCSObj(ObjId O, CtxId HeapCtx) {
+    auto Key = std::make_pair(O, HeapCtx);
+    auto It = CSObjIndex.find(Key);
+    if (It != CSObjIndex.end())
+      return It->second;
+    CSObjId Id = static_cast<CSObjId>(CSObjs.size());
+    CSObjs.push_back({O, HeapCtx});
+    CSObjIndex.emplace(Key, Id);
+    return Id;
+  }
+
+  const PtrInfo &ptr(PtrId P) const { return Ptrs[P]; }
+  const CSObjInfo &csObj(CSObjId O) const { return CSObjs[O]; }
+
+  uint32_t numPtrs() const { return static_cast<uint32_t>(Ptrs.size()); }
+  uint32_t numCSObjs() const { return static_cast<uint32_t>(CSObjs.size()); }
+
+private:
+  using Key = std::pair<uint32_t, uint32_t>;
+  using Map = std::unordered_map<Key, PtrId, PairHash>;
+
+  PtrId internPtr(Map &M, Key K, PtrKind Kind, uint32_t A, uint32_t B) {
+    auto It = M.find(K);
+    if (It != M.end())
+      return It->second;
+    PtrId Id = static_cast<PtrId>(Ptrs.size());
+    Ptrs.push_back({Kind, A, B});
+    M.emplace(K, Id);
+    return Id;
+  }
+
+  std::vector<PtrInfo> Ptrs;
+  Map VarPtrs, FieldPtrs, ArrayPtrs, StaticPtrs;
+  std::vector<CSObjInfo> CSObjs;
+  std::unordered_map<Key, CSObjId, PairHash> CSObjIndex;
+};
+
+} // namespace csc
+
+#endif // CSC_PTA_CSMANAGER_H

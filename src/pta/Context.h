@@ -1,0 +1,60 @@
+//===- Context.h - Hash-consed calling contexts -----------------*- C++ -*-===//
+//
+// Part of the Cut-Shortcut pointer analysis reproduction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Contexts are interned vectors of opaque 32-bit elements. What an element
+/// means (allocation site, type, call site) is up to the ContextSelector in
+/// use; the manager only provides hash-consing and k-limiting.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CSC_PTA_CONTEXT_H
+#define CSC_PTA_CONTEXT_H
+
+#include "support/Hash.h"
+#include "support/Ids.h"
+#include "support/Interner.h"
+
+#include <vector>
+
+namespace csc {
+
+/// Owns all contexts; CtxId 0 is always the empty context.
+class ContextManager {
+public:
+  ContextManager() { [[maybe_unused]] CtxId E = Ctxs.intern({}); }
+
+  CtxId empty() const { return 0; }
+
+  /// Appends \p Elem to \p Base, keeping only the last \p Limit elements.
+  CtxId push(CtxId Base, uint32_t Elem, size_t Limit) {
+    std::vector<uint32_t> Elems = Ctxs.get(Base);
+    Elems.push_back(Elem);
+    if (Elems.size() > Limit)
+      Elems.erase(Elems.begin(), Elems.end() - Limit);
+    return Ctxs.intern(Elems);
+  }
+
+  /// Keeps only the last \p Limit elements of \p C.
+  CtxId truncate(CtxId C, size_t Limit) {
+    const std::vector<uint32_t> &Elems = Ctxs.get(C);
+    if (Elems.size() <= Limit)
+      return C;
+    std::vector<uint32_t> Keep(Elems.end() - Limit, Elems.end());
+    return Ctxs.intern(Keep);
+  }
+
+  const std::vector<uint32_t> &elems(CtxId C) const { return Ctxs.get(C); }
+
+  uint32_t numContexts() const { return Ctxs.size(); }
+
+private:
+  Interner<std::vector<uint32_t>, IdVectorHash> Ctxs;
+};
+
+} // namespace csc
+
+#endif // CSC_PTA_CONTEXT_H

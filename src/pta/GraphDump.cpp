@@ -1,0 +1,102 @@
+//===- GraphDump.cpp - Graphviz export of analysis graphs ------------------===//
+//
+// Part of the Cut-Shortcut pointer analysis reproduction.
+//
+//===----------------------------------------------------------------------===//
+
+#include "pta/GraphDump.h"
+
+#include <sstream>
+
+using namespace csc;
+
+namespace {
+
+std::string escape(const std::string &S) {
+  std::string Out;
+  for (char C : S) {
+    if (C == '"' || C == '\\')
+      Out.push_back('\\');
+    Out.push_back(C);
+  }
+  return Out;
+}
+
+std::string ptrLabel(const Solver &S, PtrId Pr) {
+  const Program &P = S.program();
+  const CSManager &CSM = S.csManager();
+  const PtrInfo &PI = CSM.ptr(Pr);
+  std::ostringstream OS;
+  switch (PI.Kind) {
+  case PtrKind::Var: {
+    const VarInfo &V = P.var(PI.A);
+    OS << P.method(V.Method).Name << "." << V.Name;
+    if (PI.B != 0)
+      OS << "@" << PI.B;
+    break;
+  }
+  case PtrKind::Field: {
+    const CSObjInfo &O = CSM.csObj(PI.A);
+    OS << "o" << O.O << "." << P.field(PI.B).Name;
+    break;
+  }
+  case PtrKind::Array:
+    OS << "o" << CSM.csObj(PI.A).O << "[]";
+    break;
+  case PtrKind::Static:
+    OS << P.type(P.field(PI.A).Owner).Name << "::" << P.field(PI.A).Name;
+    break;
+  }
+  return OS.str();
+}
+
+} // namespace
+
+std::string csc::dumpPFGDot(const Solver &S, uint32_t MaxNodes) {
+  const CSManager &CSM = S.csManager();
+  std::ostringstream OS;
+  OS << "digraph PFG {\n  rankdir=LR;\n  node [shape=box, fontsize=10];\n";
+  uint32_t N = CSM.numPtrs();
+  if (MaxNodes && N > MaxNodes) {
+    OS << "  // graph truncated: " << N << " nodes exceed the limit\n";
+    N = MaxNodes;
+  }
+  for (PtrId Pr = 0; Pr < N; ++Pr) {
+    bool HasEdge = !S.pfg().succ(Pr).empty() || !S.pfg().pred(Pr).empty();
+    if (!HasEdge)
+      continue;
+    OS << "  n" << Pr << " [label=\"" << escape(ptrLabel(S, Pr))
+       << "\"];\n";
+  }
+  for (PtrId Pr = 0; Pr < N; ++Pr)
+    for (const PFGEdge &E : S.pfg().succ(Pr)) {
+      if (E.To >= N)
+        continue;
+      OS << "  n" << Pr << " -> n" << E.To;
+      if (S.isShortcutEdge(Pr, E.To))
+        OS << " [color=blue, penwidth=2, label=\"shortcut\"]";
+      else if (E.Filter != InvalidId)
+        OS << " [style=dashed, label=\"("
+           << escape(S.program().type(E.Filter).Name) << ")\"]";
+      OS << ";\n";
+    }
+  OS << "}\n";
+  return OS.str();
+}
+
+std::string csc::dumpCallGraphDot(const Program &P, const PTAResult &R) {
+  std::ostringstream OS;
+  OS << "digraph CG {\n  node [shape=box, fontsize=10];\n";
+  for (MethodId M : R.reachableMethods())
+    OS << "  m" << M << " [label=\"" << escape(P.methodString(M))
+       << "\"];\n";
+  for (CallSiteId CS = 0; CS < P.numCallSites(); ++CS) {
+    MethodId Caller = P.callSite(CS).Caller;
+    if (!R.isReachable(Caller))
+      continue;
+    for (MethodId Callee : R.calleesOf(CS))
+      OS << "  m" << Caller << " -> m" << Callee << ";\n";
+  }
+  OS << "}\n";
+  return OS.str();
+}

@@ -1,0 +1,34 @@
+//===- GraphDump.h - Graphviz export of analysis graphs ---------*- C++ -*-===//
+//
+// Part of the Cut-Shortcut pointer analysis reproduction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Debug/visualization helpers: renders the pointer flow graph (with
+/// shortcut edges highlighted) and the CI call graph in Graphviz dot
+/// syntax. Intended for small programs — the motivating examples of the
+/// paper render nicely.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CSC_PTA_GRAPHDUMP_H
+#define CSC_PTA_GRAPHDUMP_H
+
+#include "pta/Solver.h"
+
+#include <string>
+
+namespace csc {
+
+/// Renders the solver's PFG as a dot digraph. Node labels are
+/// "method.var", "obj.field", "obj[]" or "Class::field". \p MaxNodes
+/// guards against accidentally dumping huge graphs (0 = no limit).
+std::string dumpPFGDot(const Solver &S, uint32_t MaxNodes = 2000);
+
+/// Renders the CI-projected call graph of a result as a dot digraph.
+std::string dumpCallGraphDot(const Program &P, const PTAResult &R);
+
+} // namespace csc
+
+#endif // CSC_PTA_GRAPHDUMP_H

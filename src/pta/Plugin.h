@@ -1,0 +1,70 @@
+//===- Plugin.h - Solver extension hooks ------------------------*- C++ -*-===//
+//
+// Part of the Cut-Shortcut pointer analysis reproduction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Observer interface through which analyses extend the solver (mirroring
+/// Tai-e's plugin architecture, on which the paper's Java implementation is
+/// built). The Cut-Shortcut patterns are implemented as one such plugin.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CSC_PTA_PLUGIN_H
+#define CSC_PTA_PLUGIN_H
+
+#include "support/Ids.h"
+
+#include <vector>
+
+namespace csc {
+
+class Solver;
+
+/// Why a PFG edge was added; lets plugins distinguish e.g. return edges
+/// (the container pattern excludes Transfer-method return edges from host
+/// propagation, [PropHost] in Fig. 10).
+enum class EdgeOrigin : uint8_t {
+  Assign,
+  Cast,
+  Load,
+  Store,
+  ArrayLoad,
+  ArrayStore,
+  StaticLoad,
+  StaticStore,
+  Param,
+  Return,
+  Shortcut,
+};
+
+/// Solver observer. All hooks run synchronously inside the solver loop;
+/// implementations may call back into the solver (add shortcut edges,
+/// register cuts, query points-to sets).
+class SolverPlugin {
+public:
+  virtual ~SolverPlugin();
+
+  /// Called once before solving starts (after the solver is constructed).
+  virtual void onStart(Solver &S);
+  /// A (method, context) became reachable; fired before its statements are
+  /// processed, so cut sets registered here suppress that method's edges.
+  virtual void onNewMethod(CSMethodId M);
+  /// pt(P) grew by Delta (already inserted).
+  virtual void onNewPointsTo(PtrId P, const std::vector<CSObjId> &Delta);
+  /// A new call edge was added; fired before parameter/return edges.
+  virtual void onNewCallEdge(CSCallSiteId CS, CSMethodId Callee);
+  /// A new PFG edge Src -> Dst was added.
+  virtual void onNewPFGEdge(PtrId Src, PtrId Dst, EdgeOrigin Origin);
+  /// Called whenever the worklist drains. Plugins may add edges/facts
+  /// here (e.g. flush deferred return edges whose cut status could not be
+  /// decided); if they do, solving resumes. May fire multiple times.
+  virtual void onFixpoint();
+  /// Called when the final fixpoint is reached (before projection).
+  virtual void onFinish();
+};
+
+} // namespace csc
+
+#endif // CSC_PTA_PLUGIN_H

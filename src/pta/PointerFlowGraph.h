@@ -1,0 +1,91 @@
+//===- PointerFlowGraph.h - The PFG manipulated by Cut-Shortcut -*- C++ -*-===//
+//
+// Part of the Cut-Shortcut pointer analysis reproduction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The pointer flow graph: nodes are interned pointers (PtrId), an edge
+/// s -> t is the subset constraint pt(s) ⊆ pt(t) ([Propagate] in Fig. 7).
+/// Cast edges carry a type filter. Predecessor lists are maintained because
+/// the Cut-Shortcut relay rule ([RelayEdge], Fig. 9) needs the in-edges of
+/// cut return variables.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CSC_PTA_POINTERFLOWGRAPH_H
+#define CSC_PTA_POINTERFLOWGRAPH_H
+
+#include "support/Hash.h"
+#include "support/Ids.h"
+
+#include <unordered_set>
+#include <vector>
+
+namespace csc {
+
+struct PFGEdge {
+  PtrId To = InvalidId;
+  TypeId Filter = InvalidId; ///< InvalidId = unfiltered.
+};
+
+class PointerFlowGraph {
+public:
+  /// Adds s -> t (with optional cast filter); returns false if present.
+  bool addEdge(PtrId S, PtrId T, TypeId Filter) {
+    EdgeKey Key{S, T, Filter};
+    if (!Edges.insert(Key).second)
+      return false;
+    ensure(std::max(S, T));
+    Succ[S].push_back({T, Filter});
+    Pred[T].push_back(S);
+    ++NumEdges;
+    return true;
+  }
+
+  const std::vector<PFGEdge> &succ(PtrId P) const {
+    return P < Succ.size() ? Succ[P] : EmptyEdges;
+  }
+  const std::vector<PtrId> &pred(PtrId P) const {
+    return P < Pred.size() ? Pred[P] : EmptyPreds;
+  }
+
+  uint64_t numEdges() const { return NumEdges; }
+
+private:
+  struct EdgeKey {
+    PtrId S;
+    PtrId T;
+    TypeId Filter;
+    bool operator==(const EdgeKey &O) const {
+      return S == O.S && T == O.T && Filter == O.Filter;
+    }
+  };
+  struct EdgeKeyHash {
+    size_t operator()(const EdgeKey &K) const {
+      size_t Seed = K.S;
+      hashCombine(Seed, K.T);
+      hashCombine(Seed, K.Filter);
+      return Seed;
+    }
+  };
+
+  void ensure(PtrId P) {
+    if (P >= Succ.size()) {
+      Succ.resize(P + 1);
+      Pred.resize(P + 1);
+    }
+  }
+
+  std::vector<std::vector<PFGEdge>> Succ;
+  std::vector<std::vector<PtrId>> Pred;
+  std::unordered_set<EdgeKey, EdgeKeyHash> Edges;
+  uint64_t NumEdges = 0;
+
+  inline static const std::vector<PFGEdge> EmptyEdges{};
+  inline static const std::vector<PtrId> EmptyPreds{};
+};
+
+} // namespace csc
+
+#endif // CSC_PTA_POINTERFLOWGRAPH_H

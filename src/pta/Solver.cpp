@@ -1,0 +1,442 @@
+//===- Solver.cpp - Worklist pointer-analysis solver ----------------------===//
+//
+// Part of the Cut-Shortcut pointer analysis reproduction.
+//
+//===----------------------------------------------------------------------===//
+
+#include "pta/Solver.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace csc;
+
+ContextSelector::~ContextSelector() = default;
+
+SolverPlugin::~SolverPlugin() = default;
+void SolverPlugin::onStart(Solver &) {}
+void SolverPlugin::onNewMethod(CSMethodId) {}
+void SolverPlugin::onNewPointsTo(PtrId, const std::vector<CSObjId> &) {}
+void SolverPlugin::onNewCallEdge(CSCallSiteId, CSMethodId) {}
+void SolverPlugin::onNewPFGEdge(PtrId, PtrId, EdgeOrigin) {}
+void SolverPlugin::onFixpoint() {}
+void SolverPlugin::onFinish() {}
+
+Solver::Solver(const Program &P, SolverOptions Opts) : P(P), Opts(Opts) {
+  if (Opts.Selector) {
+    Selector = Opts.Selector;
+  } else {
+    DefaultSelector = std::make_unique<CISelector>();
+    Selector = DefaultSelector.get();
+  }
+  CutStores.assign(P.numStmts(), 0);
+  CutReturns.assign(P.numVars(), 0);
+
+  // Index statements by their base variable so points-to growth of a base
+  // triggers exactly the dependent loads/stores/calls.
+  BaseUses.resize(P.numVars());
+  for (StmtId S = 0; S < P.numStmts(); ++S) {
+    const Stmt &St = P.stmt(S);
+    switch (St.Kind) {
+    case StmtKind::Load:
+    case StmtKind::Store:
+    case StmtKind::ArrayLoad:
+    case StmtKind::ArrayStore:
+      BaseUses[St.Base].push_back(S);
+      break;
+    case StmtKind::Invoke:
+      if (St.IKind != InvokeKind::Static)
+        BaseUses[St.Base].push_back(S);
+      break;
+    default:
+      break;
+    }
+  }
+}
+
+Solver::~Solver() = default;
+
+void Solver::addCutStore(StmtId S) {
+  assert(S < CutStores.size() && "cutStore id out of range");
+  CutStores[S] = 1;
+}
+
+void Solver::addCutReturn(VarId V) {
+  assert(V < CutReturns.size() && "cutReturn id out of range");
+  CutReturns[V] = 1;
+  // Withheld return edges are superseded by the plugin's shortcut/relay
+  // edges; drop them.
+  if (isDeferredReturn(V)) {
+    DeferredReturns[V] = 0;
+    PendingReturnTargets.erase(V);
+  }
+}
+
+void Solver::addDeferredReturn(VarId V) {
+  if (isCutReturn(V))
+    return;
+  if (V >= DeferredReturns.size())
+    DeferredReturns.resize(P.numVars(), 0);
+  DeferredReturns[V] = 1;
+}
+
+void Solver::undeferReturn(VarId V) {
+  if (!isDeferredReturn(V))
+    return;
+  DeferredReturns[V] = 0;
+  auto It = PendingReturnTargets.find(V);
+  if (It == PendingReturnTargets.end())
+    return;
+  std::vector<PtrId> Targets = std::move(It->second);
+  PendingReturnTargets.erase(It);
+  PtrId RetPtr = varPtrCI(V);
+  for (PtrId T : Targets)
+    addPFGEdge(RetPtr, T, InvalidId, EdgeOrigin::Return);
+}
+
+bool Solver::addShortcutEdge(PtrId Src, PtrId Dst) {
+  ShortcutEdgeKeys.insert((static_cast<uint64_t>(Src) << 32) | Dst);
+  return addPFGEdge(Src, Dst, InvalidId, EdgeOrigin::Shortcut);
+}
+
+void Solver::ensurePtr(PtrId Pr) {
+  if (Pr >= Pts.size()) {
+    Pts.resize(Pr + 1);
+    Pending.resize(Pr + 1);
+    InQueue.resize(Pr + 1, 0);
+  }
+}
+
+void Solver::markDirty(PtrId Pr) {
+  ensurePtr(Pr);
+  if (!InQueue[Pr]) {
+    InQueue[Pr] = 1;
+    Queue.push_back(Pr);
+  }
+}
+
+bool Solver::passesFilter(CSObjId O, TypeId Filter) const {
+  if (Filter == InvalidId)
+    return true;
+  return P.isSubtype(P.obj(CSM.csObj(O).O).Type, Filter);
+}
+
+void Solver::enqueueObj(PtrId Pr, CSObjId O) {
+  ensurePtr(Pr);
+  if (Opts.DeltaPropagation) {
+    if (Pts[Pr].contains(O))
+      return;
+    Pending[Pr].push_back(O);
+    markDirty(Pr);
+    return;
+  }
+  if (Pts[Pr].insert(O)) {
+    ++Stats.PtsInsertions;
+    markDirty(Pr);
+  }
+}
+
+void Solver::enqueueSet(PtrId Pr, const PointsToSet &Set, TypeId Filter) {
+  Set.forEach([&](CSObjId O) {
+    if (passesFilter(O, Filter))
+      enqueueObj(Pr, O);
+  });
+}
+
+void Solver::enqueueDelta(PtrId Pr, const std::vector<CSObjId> &Delta,
+                          TypeId Filter) {
+  for (CSObjId O : Delta)
+    if (passesFilter(O, Filter))
+      enqueueObj(Pr, O);
+}
+
+bool Solver::addPFGEdge(PtrId Src, PtrId Dst, TypeId Filter,
+                        EdgeOrigin Origin) {
+  if (!PFG.addEdge(Src, Dst, Filter))
+    return false;
+  ++Stats.PFGEdges;
+  ensurePtr(std::max(Src, Dst));
+  for (SolverPlugin *Pl : Plugins)
+    Pl->onNewPFGEdge(Src, Dst, Origin);
+  const PointsToSet &SrcPts = ptsOf(Src);
+  if (!SrcPts.empty())
+    enqueueSet(Dst, SrcPts, Filter);
+  return true;
+}
+
+void Solver::addReachable(MethodId M, CtxId C) {
+  CSMethodId CSMth = CG.getCSMethod(M, C);
+  if (!CG.addReachable(CSMth))
+    return;
+  for (SolverPlugin *Pl : Plugins)
+    Pl->onNewMethod(CSMth);
+
+  const MethodInfo &MI = P.method(M);
+  for (StmtId SId : MI.AllStmts) {
+    const Stmt &S = P.stmt(SId);
+    switch (S.Kind) {
+    case StmtKind::New:
+    case StmtKind::NewArray: {
+      CtxId HCtx = Selector->selectHeap(CM, C, S.Obj);
+      CSObjId O = CSM.getCSObj(S.Obj, HCtx);
+      enqueueObj(varPtr(S.To, C), O);
+      break;
+    }
+    case StmtKind::Assign:
+      addPFGEdge(varPtr(S.From, C), varPtr(S.To, C), InvalidId,
+                 EdgeOrigin::Assign);
+      break;
+    case StmtKind::Cast:
+      addPFGEdge(varPtr(S.From, C), varPtr(S.To, C), S.Type,
+                 EdgeOrigin::Cast);
+      break;
+    case StmtKind::StaticLoad:
+      addPFGEdge(CSM.getStaticPtr(S.Field), varPtr(S.To, C), InvalidId,
+                 EdgeOrigin::StaticLoad);
+      break;
+    case StmtKind::StaticStore:
+      addPFGEdge(varPtr(S.From, C), CSM.getStaticPtr(S.Field), InvalidId,
+                 EdgeOrigin::StaticStore);
+      break;
+    case StmtKind::Invoke:
+      if (S.IKind == InvokeKind::Static) {
+        MethodId Callee = S.DirectCallee;
+        assert(Callee != InvalidId && "unresolved static call");
+        CtxId CalleeCtx = Selector->selectStatic(CM, C, S.CallSite, Callee);
+        CSCallSiteId CS = CG.getCSCallSite(S.CallSite, C);
+        CSMethodId CSCallee = CG.getCSMethod(Callee, CalleeCtx);
+        if (CG.addEdge(CS, CSCallee))
+          processCallEdge(CS, CSCallee, S, C, CalleeCtx);
+      }
+      break;
+    case StmtKind::Load:
+    case StmtKind::Store:
+    case StmtKind::ArrayLoad:
+    case StmtKind::ArrayStore:
+    case StmtKind::Return:
+    case StmtKind::If:
+      break; // Driven by points-to growth / call edges.
+    }
+  }
+}
+
+void Solver::processCallEdge(CSCallSiteId CS, CSMethodId Callee,
+                             const Stmt &S, CtxId CallerCtx,
+                             CtxId CalleeCtx) {
+  ++Stats.CallEdgesCS;
+  MethodId M = CG.csMethod(Callee).M;
+  addReachable(M, CalleeCtx);
+  for (SolverPlugin *Pl : Plugins)
+    Pl->onNewCallEdge(CS, Callee);
+
+  const MethodInfo &MI = P.method(M);
+  size_t FirstParam = MI.IsStatic ? 0 : 1;
+  size_t NParams = MI.Params.size() - FirstParam;
+  for (size_t K = 0; K < S.Args.size() && K < NParams; ++K)
+    addPFGEdge(varPtr(S.Args[K], CallerCtx),
+               varPtr(MI.Params[FirstParam + K], CalleeCtx), InvalidId,
+               EdgeOrigin::Param);
+
+  // [Return]: suppressed for return variables in cutReturns; withheld for
+  // deferred ones (nested [CutPropLoad] candidates).
+  if (S.To != InvalidId)
+    for (VarId RV : MI.RetVars) {
+      if (isCutReturn(RV))
+        continue;
+      if (isDeferredReturn(RV)) {
+        PendingReturnTargets[RV].push_back(varPtr(S.To, CallerCtx));
+        continue;
+      }
+      addPFGEdge(varPtr(RV, CalleeCtx), varPtr(S.To, CallerCtx), InvalidId,
+                 EdgeOrigin::Return);
+    }
+}
+
+void Solver::processCallOnReceiver(const Stmt &S, CtxId CallerCtx,
+                                   CSObjId Recv) {
+  MethodId Callee;
+  if (S.IKind == InvokeKind::Virtual) {
+    Callee = P.dispatch(P.obj(CSM.csObj(Recv).O).Type, S.Subsig);
+    if (Callee == InvalidId)
+      return; // No concrete target (e.g. spurious receiver filtered later).
+  } else {
+    Callee = S.DirectCallee;
+    assert(Callee != InvalidId && "unresolved special call");
+  }
+  CtxId CalleeCtx = Selector->select(CM, CSM, P, CallerCtx, S.CallSite, Recv,
+                                     Callee);
+  // Bind the receiver object to `this` of the callee.
+  const MethodInfo &MI = P.method(Callee);
+  if (!MI.IsStatic)
+    enqueueObj(varPtr(MI.Params[0], CalleeCtx), Recv);
+
+  CSCallSiteId CS = CG.getCSCallSite(S.CallSite, CallerCtx);
+  CSMethodId CSCallee = CG.getCSMethod(Callee, CalleeCtx);
+  if (CG.addEdge(CS, CSCallee))
+    processCallEdge(CS, CSCallee, S, CallerCtx, CalleeCtx);
+}
+
+void Solver::processPointer(PtrId Pr, const std::vector<CSObjId> &Delta) {
+  const PtrInfo &PI = CSM.ptr(Pr);
+  if (PI.Kind == PtrKind::Var) {
+    VarId V = PI.A;
+    CtxId C = PI.B;
+    for (StmtId SId : BaseUses[V]) {
+      const Stmt &S = P.stmt(SId);
+      switch (S.Kind) {
+      case StmtKind::Load:
+        for (CSObjId O : Delta)
+          addPFGEdge(fieldPtr(O, S.Field), varPtr(S.To, C), InvalidId,
+                     EdgeOrigin::Load);
+        break;
+      case StmtKind::Store:
+        // [Store]: suppressed for statements in cutStores.
+        if (!isCutStore(SId))
+          for (CSObjId O : Delta)
+            addPFGEdge(varPtr(S.From, C), fieldPtr(O, S.Field), InvalidId,
+                       EdgeOrigin::Store);
+        break;
+      case StmtKind::ArrayLoad:
+        for (CSObjId O : Delta) {
+          if (!P.obj(CSM.csObj(O).O).IsArray)
+            continue;
+          addPFGEdge(CSM.getArrayPtr(O), varPtr(S.To, C), InvalidId,
+                     EdgeOrigin::ArrayLoad);
+        }
+        break;
+      case StmtKind::ArrayStore:
+        for (CSObjId O : Delta) {
+          const ObjInfo &OI = P.obj(CSM.csObj(O).O);
+          if (!OI.IsArray)
+            continue;
+          // Runtime array-store check: filter by the array's element type.
+          addPFGEdge(varPtr(S.From, C), CSM.getArrayPtr(O),
+                     P.type(OI.Type).ArrayElem, EdgeOrigin::ArrayStore);
+        }
+        break;
+      case StmtKind::Invoke:
+        for (CSObjId O : Delta)
+          processCallOnReceiver(S, C, O);
+        break;
+      default:
+        break;
+      }
+    }
+  }
+  for (SolverPlugin *Pl : Plugins)
+    Pl->onNewPointsTo(Pr, Delta);
+}
+
+PTAResult Solver::solve() {
+  Clock.reset();
+  PTAResult R;
+
+  for (SolverPlugin *Pl : Plugins)
+    Pl->onStart(*this);
+
+  assert(P.entry() != InvalidId && "program has no entry point");
+  addReachable(P.entry(), CM.empty());
+
+  std::vector<CSObjId> Delta;
+  bool MoreRounds = true;
+  while (MoreRounds) {
+    while (!Queue.empty()) {
+      if (Stats.PtsInsertions > Opts.WorkBudget) {
+        Exhausted = true;
+        break;
+      }
+      if (Opts.TimeBudgetMs > 0 && (Stats.WorklistPops & 1023) == 0 &&
+          Clock.elapsedMs() > Opts.TimeBudgetMs) {
+        Exhausted = true;
+        break;
+      }
+      ++Stats.WorklistPops;
+      PtrId Pr = Queue.front();
+      Queue.pop_front();
+      InQueue[Pr] = 0;
+
+      if (Opts.DeltaPropagation) {
+        std::vector<CSObjId> PendingObjs;
+        PendingObjs.swap(Pending[Pr]);
+        Delta.clear();
+        for (CSObjId O : PendingObjs)
+          if (Pts[Pr].insert(O)) {
+            ++Stats.PtsInsertions;
+            Delta.push_back(O);
+          }
+        if (Delta.empty())
+          continue;
+        for (const PFGEdge &E : PFG.succ(Pr))
+          enqueueDelta(E.To, Delta, E.Filter);
+        processPointer(Pr, Delta);
+      } else {
+        // Full re-propagation (Doop-style): reprocess the complete set.
+        Delta = Pts[Pr].toVector();
+        if (Delta.empty())
+          continue;
+        for (const PFGEdge &E : PFG.succ(Pr))
+          enqueueSet(E.To, Pts[Pr], E.Filter);
+        processPointer(Pr, Delta);
+      }
+    }
+    // Worklist drained (or budget hit): give plugins a chance to resolve
+    // deferred work (e.g. flush withheld return edges); resume if they
+    // added anything.
+    if (Exhausted)
+      break;
+    for (SolverPlugin *Pl : Plugins)
+      Pl->onFixpoint();
+    MoreRounds = !Queue.empty();
+  }
+
+  for (SolverPlugin *Pl : Plugins)
+    Pl->onFinish();
+
+  R.Exhausted = Exhausted;
+  Stats.NumPtrs = CSM.numPtrs();
+  Stats.NumCSObjs = CSM.numCSObjs();
+  Stats.NumContexts = CM.numContexts();
+  Stats.ReachableCS = static_cast<uint32_t>(CG.reachableMethods().size());
+  Stats.ReachableCI = static_cast<uint32_t>(CG.reachableCI().size());
+  R.Stats = Stats;
+  buildProjection(R);
+  R.TimeMs = Clock.elapsedMs();
+  return R;
+}
+
+void Solver::buildProjection(PTAResult &R) {
+  R.VarPts.resize(P.numVars());
+  for (PtrId Pr = 0; Pr < CSM.numPtrs(); ++Pr) {
+    const PointsToSet &S = ptsOf(Pr);
+    if (S.empty())
+      continue;
+    const PtrInfo &PI = CSM.ptr(Pr);
+    switch (PI.Kind) {
+    case PtrKind::Var:
+      S.forEach([&](CSObjId O) { R.VarPts[PI.A].insert(CSM.csObj(O).O); });
+      break;
+    case PtrKind::Field: {
+      ObjId Base = CSM.csObj(PI.A).O;
+      PointsToSet &Dst = R.FieldPts[{Base, PI.B}];
+      S.forEach([&](CSObjId O) { Dst.insert(CSM.csObj(O).O); });
+      break;
+    }
+    case PtrKind::Array: {
+      ObjId Base = CSM.csObj(PI.A).O;
+      PointsToSet &Dst = R.ArrayPts[Base];
+      S.forEach([&](CSObjId O) { Dst.insert(CSM.csObj(O).O); });
+      break;
+    }
+    case PtrKind::Static: {
+      PointsToSet &Dst = R.StaticPts[PI.A];
+      S.forEach([&](CSObjId O) { Dst.insert(CSM.csObj(O).O); });
+      break;
+    }
+    }
+  }
+  R.CalleesPerSite.resize(P.numCallSites());
+  for (const auto &[CS, M] : CG.ciEdges())
+    R.CalleesPerSite[CS].push_back(M);
+  R.Reachable = CG.reachableCI();
+  R.NumCallEdgesCI = CG.ciEdges().size();
+}

@@ -1,0 +1,86 @@
+//===- ContainerSpec.cpp - Entrance/Exit/Transfer API spec ----------------===//
+//
+// Part of the Cut-Shortcut pointer analysis reproduction.
+//
+//===----------------------------------------------------------------------===//
+
+#include "stdlib/ContainerSpec.h"
+
+using namespace csc;
+
+namespace {
+
+/// One row of the specification table.
+struct SpecRow {
+  const char *Class;
+  const char *Method;
+  size_t Arity; ///< Excluding the receiver.
+  enum RoleKind { Entrance, Exit, Transfer } Role;
+  uint32_t ParamIdx;    ///< Entrance only (call-arg index; 0 = receiver).
+  ElemCategory Cat;     ///< Entrance/Exit only.
+};
+
+constexpr ElemCategory CV = ElemCategory::ColValue;
+constexpr ElemCategory MK = ElemCategory::MapKey;
+constexpr ElemCategory MV = ElemCategory::MapValue;
+
+const SpecRow Table[] = {
+    // Collections: add is the Entrance, get/next are Exits,
+    // iterator is a Transfer.
+    {"ArrayList", "add", 1, SpecRow::Entrance, 1, CV},
+    {"ArrayList", "get", 0, SpecRow::Exit, 0, CV},
+    {"ArrayList", "iterator", 0, SpecRow::Transfer, 0, CV},
+    {"ArrayListIterator", "next", 0, SpecRow::Exit, 0, CV},
+
+    {"LinkedList", "add", 1, SpecRow::Entrance, 1, CV},
+    {"LinkedList", "get", 0, SpecRow::Exit, 0, CV},
+    {"LinkedList", "iterator", 0, SpecRow::Transfer, 0, CV},
+    {"LinkedListIterator", "next", 0, SpecRow::Exit, 0, CV},
+
+    {"HashSet", "add", 1, SpecRow::Entrance, 1, CV},
+    {"HashSet", "get", 0, SpecRow::Exit, 0, CV},
+    {"HashSet", "iterator", 0, SpecRow::Transfer, 0, CV},
+    {"HashSetIterator", "next", 0, SpecRow::Exit, 0, CV},
+
+    // Maps: put feeds both key and value categories; views and their
+    // iterators are host-dependent (§3.3.2).
+    {"HashMap", "put", 2, SpecRow::Entrance, 1, MK},
+    {"HashMap", "put", 2, SpecRow::Entrance, 2, MV},
+    {"HashMap", "get", 1, SpecRow::Exit, 0, MV},
+    {"HashMap", "keySet", 0, SpecRow::Transfer, 0, MK},
+    {"HashMap", "values", 0, SpecRow::Transfer, 0, MV},
+    {"KeySetView", "get", 0, SpecRow::Exit, 0, MK},
+    {"KeySetView", "iterator", 0, SpecRow::Transfer, 0, MK},
+    {"ValuesView", "get", 0, SpecRow::Exit, 0, MV},
+    {"ValuesView", "iterator", 0, SpecRow::Transfer, 0, MV},
+    {"KeyIterator", "next", 0, SpecRow::Exit, 0, MK},
+    {"ValueIterator", "next", 0, SpecRow::Exit, 0, MV},
+};
+
+} // namespace
+
+ContainerSpec ContainerSpec::forProgram(const Program &P) {
+  ContainerSpec Spec;
+  Spec.CollectionTy = P.typeByName("Collection");
+  Spec.MapTy = P.typeByName("Map");
+  for (const SpecRow &Row : Table) {
+    TypeId T = P.typeByName(Row.Class);
+    if (T == InvalidId || !P.type(T).Defined)
+      continue;
+    MethodId M = P.lookupMethod(T, Row.Method, Row.Arity);
+    if (M == InvalidId || P.method(M).IsAbstract)
+      continue;
+    switch (Row.Role) {
+    case SpecRow::Entrance:
+      Spec.Entrances[M].push_back({Row.ParamIdx, Row.Cat});
+      break;
+    case SpecRow::Exit:
+      Spec.Exits.emplace(M, Row.Cat);
+      break;
+    case SpecRow::Transfer:
+      Spec.Transfers.emplace(M, true);
+      break;
+    }
+  }
+  return Spec;
+}

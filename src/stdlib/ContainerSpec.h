@@ -1,0 +1,85 @@
+//===- ContainerSpec.h - Entrance/Exit/Transfer API spec --------*- C++ -*-===//
+//
+// Part of the Cut-Shortcut pointer analysis reproduction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The container API specification the paper's container access pattern
+/// consumes (§3.3, §4.3): which methods are Entrances (objects flow into a
+/// container through parameter k, with an element category), Exits (objects
+/// of a category flow out through the return value), and Transfers (host
+/// objects transfer from the receiver to the LHS — iterators, map views).
+///
+/// The paper reports it took one author five hours to specify the JDK's
+/// APIs; our modelled library needs the table below. Assumption 1 (complete
+/// Entrances/Transfers w.r.t. the modelled containers) holds by
+/// construction — the soundness property tests check it.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CSC_STDLIB_CONTAINERSPEC_H
+#define CSC_STDLIB_CONTAINERSPEC_H
+
+#include "ir/Program.h"
+
+#include <unordered_map>
+#include <vector>
+
+namespace csc {
+
+/// Element categories (the `c` superscripts of Fig. 10): distinguishing map
+/// keys from map values from plain collection elements.
+enum class ElemCategory : uint8_t { ColValue, MapKey, MapValue };
+
+class ContainerSpec {
+public:
+  /// Resolves the specification against \p P (after loadStdlib). Entries
+  /// whose classes/methods are absent are skipped, so programs without the
+  /// stdlib still work (with an empty spec).
+  static ContainerSpec forProgram(const Program &P);
+
+  struct EntranceParam {
+    uint32_t ParamIdx; ///< Call-argument index; 0 is the receiver.
+    ElemCategory Cat;
+  };
+
+  bool isEntrance(MethodId M) const { return Entrances.count(M) != 0; }
+  const std::vector<EntranceParam> &entranceParams(MethodId M) const {
+    static const std::vector<EntranceParam> None;
+    auto It = Entrances.find(M);
+    return It == Entrances.end() ? None : It->second;
+  }
+
+  bool isExit(MethodId M) const { return Exits.count(M) != 0; }
+  ElemCategory exitCategory(MethodId M) const { return Exits.at(M); }
+
+  bool isTransfer(MethodId M) const { return Transfers.count(M) != 0; }
+
+  /// True if \p M plays any container role.
+  bool isContainerMethod(MethodId M) const {
+    return isEntrance(M) || isExit(M) || isTransfer(M);
+  }
+
+  /// The host root types for [ColHost] / [MapHost]; InvalidId if the
+  /// stdlib is not loaded.
+  TypeId collectionType() const { return CollectionTy; }
+  TypeId mapType() const { return MapTy; }
+
+  /// True if objects of \p T are container hosts.
+  bool isHostType(const Program &P, TypeId T) const {
+    return (CollectionTy != InvalidId && P.isSubtype(T, CollectionTy)) ||
+           (MapTy != InvalidId && P.isSubtype(T, MapTy));
+  }
+
+private:
+  std::unordered_map<MethodId, std::vector<EntranceParam>> Entrances;
+  std::unordered_map<MethodId, ElemCategory> Exits;
+  std::unordered_map<MethodId, bool> Transfers;
+  TypeId CollectionTy = InvalidId;
+  TypeId MapTy = InvalidId;
+};
+
+} // namespace csc
+
+#endif // CSC_STDLIB_CONTAINERSPEC_H

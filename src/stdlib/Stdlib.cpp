@@ -1,0 +1,352 @@
+//===- Stdlib.cpp - Modelled standard library ------------------------------===//
+//
+// Part of the Cut-Shortcut pointer analysis reproduction.
+//
+//===----------------------------------------------------------------------===//
+
+#include "stdlib/Stdlib.h"
+
+#include "frontend/Parser.h"
+
+using namespace csc;
+
+const char *csc::stdlibSource() {
+  return R"JIR(
+// ===== Modelled standard library ("JDK") =====
+// Collection roots. Kept as abstract classes (not interfaces) so every
+// container object has a class chain rooted at Collection / Map, which the
+// container pattern's [ColHost] / [MapHost] rules key on.
+
+abstract class Collection {
+  abstract method add(e: Object): void;
+  abstract method get(): Object;
+  abstract method iterator(): Iterator;
+}
+
+abstract class Map {
+  abstract method put(k: Object, v: Object): void;
+  abstract method get(k: Object): Object;
+  abstract method keySet(): Collection;
+  abstract method values(): Collection;
+}
+
+abstract class Iterator {
+  abstract method next(): Object;
+}
+
+// --- ArrayList: backed by an Object[] ---
+
+class ArrayList extends Collection {
+  field data: Object[];
+  method init(): void {
+    var d: Object[];
+    d = new Object[];
+    this.data = d;
+  }
+  method add(e: Object): void {
+    var d: Object[];
+    d = this.data;
+    d[*] = e;
+  }
+  method get(): Object {
+    var d: Object[];
+    var r: Object;
+    d = this.data;
+    r = d[*];
+    return r;
+  }
+  method iterator(): Iterator {
+    var it: ArrayListIterator;
+    it = new ArrayListIterator;
+    dcall it.ArrayListIterator.initIt(this);
+    return it;
+  }
+}
+
+class ArrayListIterator extends Iterator {
+  field owner: ArrayList;
+  method initIt(list: ArrayList): void {
+    this.owner = list;
+  }
+  method next(): Object {
+    var o: ArrayList;
+    var d: Object[];
+    var r: Object;
+    o = this.owner;
+    d = o.data;
+    r = d[*];
+    return r;
+  }
+}
+
+// --- LinkedList: backed by a chain of nodes ---
+
+class LLNode {
+  field value: Object;
+  field nextNode: LLNode;
+  method initNode(v: Object): void {
+    this.value = v;
+  }
+}
+
+class LinkedList extends Collection {
+  field head: LLNode;
+  method init(): void {
+  }
+  method add(e: Object): void {
+    var n: LLNode;
+    var h: LLNode;
+    n = new LLNode;
+    dcall n.LLNode.initNode(e);
+    h = this.head;
+    n.nextNode = h;
+    this.head = n;
+  }
+  method get(): Object {
+    var h: LLNode;
+    var r: Object;
+    h = this.head;
+    r = h.value;
+    return r;
+  }
+  method iterator(): Iterator {
+    var it: LinkedListIterator;
+    it = new LinkedListIterator;
+    dcall it.LinkedListIterator.initIt(this);
+    return it;
+  }
+}
+
+class LinkedListIterator extends Iterator {
+  field owner: LinkedList;
+  field cursor: LLNode;
+  method initIt(list: LinkedList): void {
+    var h: LLNode;
+    this.owner = list;
+    h = list.head;
+    this.cursor = h;
+  }
+  method next(): Object {
+    var c: LLNode;
+    var n: LLNode;
+    var r: Object;
+    c = this.cursor;
+    r = c.value;
+    n = c.nextNode;
+    this.cursor = n;
+    return r;
+  }
+}
+
+// --- HashSet: array-backed set model ---
+
+class HashSet extends Collection {
+  field data: Object[];
+  method init(): void {
+    var d: Object[];
+    d = new Object[];
+    this.data = d;
+  }
+  method add(e: Object): void {
+    var d: Object[];
+    d = this.data;
+    d[*] = e;
+  }
+  method get(): Object {
+    var d: Object[];
+    var r: Object;
+    d = this.data;
+    r = d[*];
+    return r;
+  }
+  method iterator(): Iterator {
+    var it: HashSetIterator;
+    it = new HashSetIterator;
+    dcall it.HashSetIterator.initIt(this);
+    return it;
+  }
+}
+
+class HashSetIterator extends Iterator {
+  field owner: HashSet;
+  method initIt(set: HashSet): void {
+    this.owner = set;
+  }
+  method next(): Object {
+    var o: HashSet;
+    var d: Object[];
+    var r: Object;
+    o = this.owner;
+    d = o.data;
+    r = d[*];
+    return r;
+  }
+}
+
+// --- HashMap: array of key/value nodes, plus keySet()/values() views ---
+
+class HMNode {
+  field key: Object;
+  field value: Object;
+  field nextNode: HMNode;
+  method initNode(k: Object, v: Object): void {
+    this.key = k;
+    this.value = v;
+  }
+}
+
+class HashMap extends Map {
+  field table: HMNode[];
+  method init(): void {
+    var t: HMNode[];
+    t = new HMNode[];
+    this.table = t;
+  }
+  method put(k: Object, v: Object): void {
+    var n: HMNode;
+    var t: HMNode[];
+    n = new HMNode;
+    dcall n.HMNode.initNode(k, v);
+    t = this.table;
+    t[*] = n;
+  }
+  method get(k: Object): Object {
+    var t: HMNode[];
+    var n: HMNode;
+    var r: Object;
+    t = this.table;
+    n = t[*];
+    r = n.value;
+    return r;
+  }
+  method keySet(): Collection {
+    var ks: KeySetView;
+    ks = new KeySetView;
+    dcall ks.KeySetView.initView(this);
+    return ks;
+  }
+  method values(): Collection {
+    var vs: ValuesView;
+    vs = new ValuesView;
+    dcall vs.ValuesView.initView(this);
+    return vs;
+  }
+}
+
+// Collection views of a map: host-dependent objects (§3.3.2).
+
+class KeySetView extends Collection {
+  field owner: HashMap;
+  method initView(m: HashMap): void {
+    this.owner = m;
+  }
+  method add(e: Object): void {
+  }
+  method get(): Object {
+    var m: HashMap;
+    var t: HMNode[];
+    var n: HMNode;
+    var r: Object;
+    m = this.owner;
+    t = m.table;
+    n = t[*];
+    r = n.key;
+    return r;
+  }
+  method iterator(): Iterator {
+    var it: KeyIterator;
+    var m: HashMap;
+    m = this.owner;
+    it = new KeyIterator;
+    dcall it.KeyIterator.initIt(m);
+    return it;
+  }
+}
+
+class ValuesView extends Collection {
+  field owner: HashMap;
+  method initView(m: HashMap): void {
+    this.owner = m;
+  }
+  method add(e: Object): void {
+  }
+  method get(): Object {
+    var m: HashMap;
+    var t: HMNode[];
+    var n: HMNode;
+    var r: Object;
+    m = this.owner;
+    t = m.table;
+    n = t[*];
+    r = n.value;
+    return r;
+  }
+  method iterator(): Iterator {
+    var it: ValueIterator;
+    var m: HashMap;
+    m = this.owner;
+    it = new ValueIterator;
+    dcall it.ValueIterator.initIt(m);
+    return it;
+  }
+}
+
+class KeyIterator extends Iterator {
+  field owner: HashMap;
+  method initIt(m: HashMap): void {
+    this.owner = m;
+  }
+  method next(): Object {
+    var m: HashMap;
+    var t: HMNode[];
+    var n: HMNode;
+    var r: Object;
+    m = this.owner;
+    t = m.table;
+    n = t[*];
+    r = n.key;
+    return r;
+  }
+}
+
+class ValueIterator extends Iterator {
+  field owner: HashMap;
+  method initIt(m: HashMap): void {
+    this.owner = m;
+  }
+  method next(): Object {
+    var m: HashMap;
+    var t: HMNode[];
+    var n: HMNode;
+    var r: Object;
+    m = this.owner;
+    t = m.table;
+    n = t[*];
+    r = n.value;
+    return r;
+  }
+}
+
+// --- Strings ---
+
+class String {
+}
+
+class StringBuilder {
+  field buf: Object;
+  method append(s: String): StringBuilder {
+    this.buf = s;
+    return this;
+  }
+  method toString(): String {
+    var s: String;
+    s = new String;
+    return s;
+  }
+}
+)JIR";
+}
+
+bool csc::loadStdlib(Program &P, std::vector<std::string> &Diags) {
+  return parseProgram(P, {{"<stdlib>", stdlibSource()}}, Diags);
+}

@@ -1,0 +1,37 @@
+//===- Stdlib.h - Modelled standard library ---------------------*- C++ -*-===//
+//
+// Part of the Cut-Shortcut pointer analysis reproduction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The modelled "JDK" the analysis ships with: collections backed by real
+/// internal pointer flows (backing arrays, linked nodes, hash nodes),
+/// iterators and map views (the paper's host-dependent objects, §3.3.2),
+/// String and StringBuilder. Written in `.jir` and parsed into the user's
+/// program, so context-insensitive analysis of these bodies merges flows
+/// exactly like analysis of the real JDK does — which is precisely what the
+/// container pattern must untangle.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CSC_STDLIB_STDLIB_H
+#define CSC_STDLIB_STDLIB_H
+
+#include "ir/Program.h"
+
+#include <string>
+#include <vector>
+
+namespace csc {
+
+/// The `.jir` source text of the modelled library.
+const char *stdlibSource();
+
+/// Parses the modelled library into \p P (call before parsing user code).
+/// Returns false and fills \p Diags on error (which would be a bug).
+bool loadStdlib(Program &P, std::vector<std::string> &Diags);
+
+} // namespace csc
+
+#endif // CSC_STDLIB_STDLIB_H

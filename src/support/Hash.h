@@ -1,0 +1,55 @@
+//===- Hash.h - Hash combinators for interned keys --------------*- C++ -*-===//
+//
+// Part of the Cut-Shortcut pointer analysis reproduction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Small hash helpers used by the interners. We deliberately keep hashing
+/// simple and deterministic (no per-process seeding) so that analysis id
+/// assignment is reproducible across runs.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CSC_SUPPORT_HASH_H
+#define CSC_SUPPORT_HASH_H
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace csc {
+
+/// Mixes \p Value into \p Seed (boost::hash_combine-style, 64-bit variant).
+inline void hashCombine(size_t &Seed, size_t Value) {
+  Seed ^= Value + 0x9e3779b97f4a7c15ULL + (Seed << 6) + (Seed >> 2);
+}
+
+/// Hashes a pair of 32-bit ids into one size_t.
+inline size_t hashPair(uint32_t A, uint32_t B) {
+  size_t Seed = A;
+  hashCombine(Seed, B);
+  return Seed;
+}
+
+/// Hash functor for std::pair<uint32_t, uint32_t> keys.
+struct PairHash {
+  size_t operator()(const std::pair<uint32_t, uint32_t> &P) const {
+    return hashPair(P.first, P.second);
+  }
+};
+
+/// Hash functor for small id vectors (context strings).
+struct IdVectorHash {
+  size_t operator()(const std::vector<uint32_t> &V) const {
+    size_t Seed = V.size();
+    for (uint32_t E : V)
+      hashCombine(Seed, E);
+    return Seed;
+  }
+};
+
+} // namespace csc
+
+#endif // CSC_SUPPORT_HASH_H

@@ -1,0 +1,49 @@
+//===- Ids.h - Integer id types used across the analysis -------*- C++ -*-===//
+//
+// Part of the Cut-Shortcut pointer analysis reproduction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Plain integer id aliases for the entities manipulated by the IR and the
+/// pointer analysis. All ids are dense indices into per-kind tables owned by
+/// the Program / CSManager; \c InvalidId marks "no entity".
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CSC_SUPPORT_IDS_H
+#define CSC_SUPPORT_IDS_H
+
+#include <cstdint>
+
+namespace csc {
+
+/// Index of a class/interface/array type in the Program's type table.
+using TypeId = uint32_t;
+/// Index of a field declaration (instance or static).
+using FieldId = uint32_t;
+/// Index of a method.
+using MethodId = uint32_t;
+/// Program-wide index of a local variable (each method's variables get
+/// globally unique ids; the owning method is recorded in VarInfo).
+using VarId = uint32_t;
+/// Program-wide index of a statement.
+using StmtId = uint32_t;
+/// Index of an abstract heap object (allocation-site abstraction).
+using ObjId = uint32_t;
+/// Program-wide index of a call site (an Invoke statement).
+using CallSiteId = uint32_t;
+
+/// Interned analysis-time ids (owned by ContextManager / CSManager).
+using CtxId = uint32_t;
+using PtrId = uint32_t;
+using CSObjId = uint32_t;
+using CSMethodId = uint32_t;
+using CSCallSiteId = uint32_t;
+
+/// Sentinel for "no entity" in any of the id spaces above.
+inline constexpr uint32_t InvalidId = 0xFFFFFFFFu;
+
+} // namespace csc
+
+#endif // CSC_SUPPORT_IDS_H

@@ -1,0 +1,66 @@
+//===- Interner.h - Generic hash-consing table ------------------*- C++ -*-===//
+//
+// Part of the Cut-Shortcut pointer analysis reproduction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A generic interner mapping values to dense ids. Ids are assigned in
+/// first-insertion order, which keeps every table deterministic given a
+/// deterministic insertion sequence.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CSC_SUPPORT_INTERNER_H
+#define CSC_SUPPORT_INTERNER_H
+
+#include "support/Ids.h"
+
+#include <cassert>
+#include <unordered_map>
+#include <vector>
+
+namespace csc {
+
+/// Interns values of type \p T, handing out dense uint32_t ids.
+///
+/// \p Hasher must hash T; T must be equality-comparable and copyable.
+template <typename T, typename Hasher = std::hash<T>> class Interner {
+public:
+  /// Returns the id of \p Value, inserting it if not yet present.
+  uint32_t intern(const T &Value) {
+    auto It = Index.find(Value);
+    if (It != Index.end())
+      return It->second;
+    uint32_t Id = static_cast<uint32_t>(Items.size());
+    Items.push_back(Value);
+    Index.emplace(Value, Id);
+    return Id;
+  }
+
+  /// Returns the id of \p Value or InvalidId if it was never interned.
+  uint32_t lookup(const T &Value) const {
+    auto It = Index.find(Value);
+    return It == Index.end() ? InvalidId : It->second;
+  }
+
+  /// Returns the value with id \p Id.
+  const T &get(uint32_t Id) const {
+    assert(Id < Items.size() && "interner id out of range");
+    return Items[Id];
+  }
+
+  uint32_t size() const { return static_cast<uint32_t>(Items.size()); }
+  bool empty() const { return Items.empty(); }
+
+  /// All interned values in id order.
+  const std::vector<T> &items() const { return Items; }
+
+private:
+  std::vector<T> Items;
+  std::unordered_map<T, uint32_t, Hasher> Index;
+};
+
+} // namespace csc
+
+#endif // CSC_SUPPORT_INTERNER_H

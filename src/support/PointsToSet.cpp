@@ -1,0 +1,71 @@
+//===- PointsToSet.cpp - Hybrid set of abstract object ids ---------------===//
+//
+// Part of the Cut-Shortcut pointer analysis reproduction.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/PointsToSet.h"
+
+#include <algorithm>
+
+using namespace csc;
+
+bool PointsToSet::insert(uint32_t O) {
+  if (!UseBits) {
+    auto It = std::lower_bound(Small.begin(), Small.end(), O);
+    if (It != Small.end() && *It == O)
+      return false;
+    if (Small.size() < SmallLimit) {
+      Small.insert(It, O);
+      ++Count;
+      return true;
+    }
+    promote();
+  }
+  size_t Word = O / 64;
+  if (Word >= Bits.size())
+    Bits.resize(Word + 1, 0);
+  uint64_t Mask = 1ULL << (O % 64);
+  if (Bits[Word] & Mask)
+    return false;
+  Bits[Word] |= Mask;
+  ++Count;
+  return true;
+}
+
+bool PointsToSet::contains(uint32_t O) const {
+  if (!UseBits)
+    return std::binary_search(Small.begin(), Small.end(), O);
+  size_t Word = O / 64;
+  if (Word >= Bits.size())
+    return false;
+  return (Bits[Word] >> (O % 64)) & 1;
+}
+
+void PointsToSet::promote() {
+  UseBits = true;
+  if (!Small.empty()) {
+    size_t Words = Small.back() / 64 + 1;
+    Bits.resize(Words, 0);
+    for (uint32_t O : Small)
+      Bits[O / 64] |= 1ULL << (O % 64);
+  }
+  Small.clear();
+  Small.shrink_to_fit();
+}
+
+std::vector<uint32_t> PointsToSet::toVector() const {
+  std::vector<uint32_t> Out;
+  Out.reserve(Count);
+  forEach([&Out](uint32_t O) { Out.push_back(O); });
+  return Out;
+}
+
+bool PointsToSet::intersects(const PointsToSet &Other) const {
+  // Iterate the smaller set, probe the larger one.
+  const PointsToSet &A = size() <= Other.size() ? *this : Other;
+  const PointsToSet &B = size() <= Other.size() ? Other : *this;
+  bool Found = false;
+  A.forEach([&](uint32_t O) { Found = Found || B.contains(O); });
+  return Found;
+}

@@ -1,0 +1,76 @@
+//===- PointsToSet.h - Hybrid set of abstract object ids -------*- C++ -*-===//
+//
+// Part of the Cut-Shortcut pointer analysis reproduction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The points-to set representation used by the solver. Small sets are kept
+/// as sorted unique vectors (cheap to iterate, cache friendly); once a set
+/// grows past a threshold it is promoted to a bitmap, which makes the very
+/// hot insert/contains operations O(1) for the handful of huge sets that a
+/// context-insensitive analysis produces.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CSC_SUPPORT_POINTSTOSET_H
+#define CSC_SUPPORT_POINTSTOSET_H
+
+#include "support/Ids.h"
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace csc {
+
+/// A set of ObjId (or CSObjId) values with hybrid representation.
+class PointsToSet {
+public:
+  /// Inserts \p O; returns true if it was not already present.
+  bool insert(uint32_t O);
+
+  /// Returns true if \p O is in the set.
+  bool contains(uint32_t O) const;
+
+  uint32_t size() const { return Count; }
+  bool empty() const { return Count == 0; }
+
+  /// Calls \p Fn(ObjId) for every element in ascending id order.
+  template <typename F> void forEach(F &&Fn) const {
+    if (!UseBits) {
+      for (uint32_t O : Small)
+        Fn(O);
+      return;
+    }
+    for (std::size_t W = 0, E = Bits.size(); W != E; ++W) {
+      uint64_t Word = Bits[W];
+      while (Word) {
+        unsigned Bit = std::countr_zero(Word);
+        Fn(static_cast<uint32_t>(W * 64 + Bit));
+        Word &= Word - 1;
+      }
+    }
+  }
+
+  /// All elements, ascending. Convenience for tests and clients.
+  std::vector<uint32_t> toVector() const;
+
+  /// Returns true if this set and \p Other share an element.
+  bool intersects(const PointsToSet &Other) const;
+
+private:
+  void promote();
+
+  static constexpr uint32_t SmallLimit = 24;
+
+  std::vector<uint32_t> Small;  ///< Sorted unique ids while !UseBits.
+  std::vector<uint64_t> Bits;   ///< Bitmap words once promoted.
+  uint32_t Count = 0;
+  bool UseBits = false;
+};
+
+} // namespace csc
+
+#endif // CSC_SUPPORT_POINTSTOSET_H

@@ -1,0 +1,54 @@
+//===- Rng.h - Deterministic random number generator ------------*- C++ -*-===//
+//
+// Part of the Cut-Shortcut pointer analysis reproduction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// SplitMix64-based deterministic RNG. Used by the workload generator and
+/// the interpreter's nondeterministic branches so that every experiment is
+/// reproducible from a seed.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CSC_SUPPORT_RNG_H
+#define CSC_SUPPORT_RNG_H
+
+#include <cstdint>
+
+namespace csc {
+
+/// Deterministic 64-bit RNG (SplitMix64).
+class Rng {
+public:
+  explicit Rng(uint64_t Seed) : State(Seed) {}
+
+  /// Next raw 64-bit value.
+  uint64_t next() {
+    State += 0x9e3779b97f4a7c15ULL;
+    uint64_t Z = State;
+    Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebULL;
+    return Z ^ (Z >> 31);
+  }
+
+  /// Uniform value in [0, N). \p N must be > 0.
+  uint32_t nextInRange(uint32_t N) {
+    return static_cast<uint32_t>(next() % N);
+  }
+
+  /// Uniform double in [0, 1).
+  double nextDouble() {
+    return static_cast<double>(next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// Bernoulli draw with probability \p P of returning true.
+  bool nextBool(double P = 0.5) { return nextDouble() < P; }
+
+private:
+  uint64_t State;
+};
+
+} // namespace csc
+
+#endif // CSC_SUPPORT_RNG_H

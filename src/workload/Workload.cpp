@@ -1,0 +1,503 @@
+//===- Workload.cpp - Synthetic benchmark generator ------------------------===//
+//
+// Part of the Cut-Shortcut pointer analysis reproduction.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workload/Workload.h"
+
+#include "frontend/Parser.h"
+#include "stdlib/Stdlib.h"
+#include "support/Rng.h"
+
+#include <sstream>
+
+using namespace csc;
+
+namespace {
+
+/// Emits one workload; a thin state machine around an output stream.
+class Generator {
+public:
+  explicit Generator(const WorkloadConfig &C) : C(C), R(C.Seed) {}
+
+  std::string run() {
+    emitEntities();
+    emitFamilies();
+    emitUtil();
+    if (C.BombDepth > 0 && C.BombWidth > 0)
+      emitBomb();
+    emitScenarios();
+    emitMain();
+    return OS.str();
+  }
+
+private:
+  std::string ent(uint32_t I) const {
+    return "Ent_" + std::to_string(I % C.NumEntityClasses);
+  }
+
+  /// Entity classes in the "archive band" are stored into the shared
+  /// setVal hub but never genuinely retrieved-and-touched: imprecise
+  /// analyses drag their touch()/Help_ methods into the reachable world
+  /// (#reach-mtd deltas), precise ones do not.
+  uint32_t archiveBand() const {
+    return C.NumEntityClasses > 4 ? 2 + C.NumEntityClasses / 8 : 0;
+  }
+  uint32_t touchedClasses() const {
+    return C.NumEntityClasses - archiveBand();
+  }
+
+  //===------------------------------------------------------------------===//
+  // Entity classes: setters/getters + wrapper chains (field pattern).
+  //===------------------------------------------------------------------===//
+
+  void emitEntities() {
+    // A common base with a virtual touch(): calls dispatched on values
+    // retrieved from fields/containers are where imprecision inflates the
+    // call graph (#poly-call, #call-edge, and transitively #reach-mtd via
+    // the per-entity helper classes).
+    OS << "abstract class Entity {\n"
+       << "  abstract method touch(): Object;\n}\n";
+    for (uint32_t I = 0; I < C.NumEntityClasses; ++I)
+      OS << "class Help_" << I << " {\n"
+         << "  method assist(): Object {\n"
+         << "    var o: Object;\n    o = new Object;\n    return o;\n"
+         << "  }\n}\n";
+    for (uint32_t I = 0; I < C.NumEntityClasses; ++I) {
+      std::string Link = ent(I + 1);
+      OS << "class " << ent(I) << " extends Entity {\n";
+      OS << "  field val: Object;\n";
+      OS << "  field link: " << Link << ";\n";
+      OS << "  method setVal(v: Object): void {\n"
+         << "    this.val = v;\n  }\n";
+      OS << "  method getVal(): Object {\n"
+         << "    var r: Object;\n    r = this.val;\n    return r;\n  }\n";
+      OS << "  method touch(): Object {\n"
+         << "    var h: Help_" << I << ";\n"
+         << "    h = new Help_" << I << ";\n"
+         << "    var r: Object;\n"
+         << "    r = call h.assist();\n"
+         << "    return r;\n  }\n";
+      OS << "  method setLink(l: " << Link << "): void {\n"
+         << "    this.link = l;\n  }\n";
+      OS << "  method getLink(): " << Link << " {\n"
+         << "    var r: " << Link << ";\n    r = this.link;\n"
+         << "    return r;\n  }\n";
+      // Wrapper chains: nested calls for field access (§3.2.3).
+      for (uint32_t D = 1; D <= C.WrapperDepth; ++D) {
+        std::string Inner =
+            D == 1 ? "setVal" : "wSetVal_" + std::to_string(D - 1);
+        OS << "  method wSetVal_" << D << "(v: Object): void {\n"
+           << "    call this." << Inner << "(v);\n  }\n";
+        std::string GInner =
+            D == 1 ? "getVal" : "wGetVal_" + std::to_string(D - 1);
+        OS << "  method wGetVal_" << D << "(): Object {\n"
+           << "    var r: Object;\n    r = call this." << GInner << "();\n"
+           << "    return r;\n  }\n";
+      }
+      OS << "}\n";
+    }
+  }
+
+  //===------------------------------------------------------------------===//
+  // Polymorphic families (poly-call / call-edge material).
+  //===------------------------------------------------------------------===//
+
+  void emitFamilies() {
+    for (uint32_t K = 0; K < C.NumFamilies; ++K) {
+      OS << "abstract class Fam_" << K << " {\n"
+         << "  field slot: Object;\n"
+         << "  abstract method work(x: Object): Object;\n}\n";
+      for (uint32_t J = 0; J < C.FamilySize; ++J) {
+        OS << "class Fam_" << K << "_S_" << J << " extends Fam_" << K
+           << " {\n";
+        OS << "  method work(x: Object): Object {\n";
+        switch (J % 3) {
+        case 0: // Identity: local flow pattern material.
+          OS << "    return x;\n";
+          break;
+        case 1: // Store + load through `this`: field pattern material.
+          OS << "    var r: Object;\n"
+             << "    this.slot = x;\n"
+             << "    r = this.slot;\n"
+             << "    return r;\n";
+          break;
+        case 2: // Allocator: fresh object per family.
+          OS << "    var o: Object;\n"
+             << "    o = new Object;\n"
+             << "    return o;\n";
+          break;
+        }
+        OS << "  }\n}\n";
+      }
+    }
+  }
+
+  //===------------------------------------------------------------------===//
+  // Static utilities: selectors (local flow) and a registry (statics).
+  //===------------------------------------------------------------------===//
+
+  void emitUtil() {
+    OS << "class Util {\n";
+    for (uint32_t I = 0; I < C.NumSelectors; ++I) {
+      OS << "  static field reg_" << I << ": Object;\n";
+      OS << "  static method select_" << I
+         << "(a: Object, b: Object): Object {\n"
+         << "    var r: Object;\n"
+         << "    if ? {\n      r = a;\n    } else {\n      r = b;\n    }\n"
+         << "    return r;\n  }\n";
+    }
+    OS << "}\n";
+  }
+
+  //===------------------------------------------------------------------===//
+  // Context bomb: W allocation sites per level over D levels. 2obj pays
+  // W^2 contexts per level; 2type only pays when the sites are spread
+  // over distinct classes.
+  //===------------------------------------------------------------------===//
+
+  std::string bombAllocClass(uint32_t Level, uint32_t Site) const {
+    if (!C.BombMultiClass)
+      return "Bomb_" + std::to_string(Level);
+    return "BombMk_" + std::to_string(Level) + "_" +
+           std::to_string(Site % C.BombWidth);
+  }
+
+  void emitBomb() {
+    for (uint32_t D = 0; D <= C.BombDepth; ++D) {
+      bool Last = D == C.BombDepth;
+      std::string Next = "Bomb_" + std::to_string(D + 1);
+      OS << "class Bomb_" << D << " {\n";
+      if (!Last) {
+        OS << "  field next: " << Next << ";\n";
+        OS << "  method build(): void {\n"
+           << "    var n: " << Next << ";\n";
+        // W allocation sites behind nondeterministic branches. In
+        // multi-class mode each site lives in a maker class of its own so
+        // that type contexts diversify too.
+        for (uint32_t W = 0; W + 1 < C.BombWidth; ++W)
+          OS << "    if ? {\n"
+             << "      n = " << allocNext(D, W) << ";\n"
+             << "    } else {\n";
+        OS << "      n = " << allocNext(D, C.BombWidth - 1) << ";\n";
+        for (uint32_t W = 0; W + 1 < C.BombWidth; ++W)
+          OS << "    }\n";
+        OS << "    this.next = n;\n"
+           << "    call n.build();\n  }\n";
+      } else {
+        OS << "  method build(): void {\n  }\n";
+      }
+      OS << "}\n";
+      if (C.BombMultiClass && !Last) {
+        for (uint32_t W = 0; W < C.BombWidth; ++W)
+          OS << "class BombMk_" << D << "_" << W << " {\n"
+             << "  static method make(): " << Next << " {\n"
+             << "    var n: " << Next << ";\n"
+             << "    n = new " << Next << ";\n"
+             << "    return n;\n  }\n}\n";
+      }
+    }
+  }
+
+  std::string allocNext(uint32_t Level, uint32_t Site) {
+    std::string Next = "Bomb_" + std::to_string(Level + 1);
+    if (!C.BombMultiClass)
+      return "new " + Next;
+    // Allocation delegated to a per-site maker class; the allocating
+    // method's class becomes the 2type context element.
+    return "scall BombMk_" + std::to_string(Level) + "_" +
+           std::to_string(Site) + ".make()";
+  }
+
+  //===------------------------------------------------------------------===//
+  // Scenarios: the program's "application code".
+  //===------------------------------------------------------------------===//
+
+  void emitScenarios() {
+    for (uint32_t S = 0; S < C.NumScenarios; ++S) {
+      OS << "class Scen_" << S << " {\n"
+         << "  static method run(): void {\n";
+      for (uint32_t A = 0; A < C.ActionsPerScenario; ++A)
+        emitAction(S, A);
+      OS << "  }\n}\n";
+    }
+  }
+
+  void emitAction(uint32_t S, uint32_t A) {
+    std::string Id = std::to_string(S) + "_" + std::to_string(A);
+    switch (R.nextInRange(9)) {
+    case 0:
+      emitEntityAction(Id, /*Wrapped=*/false);
+      break;
+    case 1:
+      emitEntityAction(Id, /*Wrapped=*/C.WrapperDepth > 0);
+      break;
+    case 2:
+      emitFamilyAction(Id);
+      break;
+    case 3:
+      emitSelectorAction(Id);
+      break;
+    case 4:
+      emitListAction(Id);
+      break;
+    case 5:
+      emitMapAction(Id);
+      break;
+    case 6:
+      emitStringAction(Id);
+      break;
+    case 7:
+      emitRegistryAction(Id);
+      break;
+    case 8:
+      emitArchiveAction(Id);
+      break;
+    }
+  }
+
+  /// Stores an archive-band entity into the setVal hub without ever
+  /// touching it (see archiveBand()).
+  void emitArchiveAction(const std::string &Id) {
+    if (archiveBand() == 0)
+      return;
+    uint32_t EI = R.nextInRange(C.NumEntityClasses);
+    uint32_t VI = touchedClasses() + R.nextInRange(archiveBand());
+    std::string E = ent(EI), V = ent(VI);
+    OS << "    var an" << Id << ": " << E << ";\n"
+       << "    an" << Id << " = new " << E << ";\n"
+       << "    var av" << Id << ": " << V << ";\n"
+       << "    av" << Id << " = new " << V << ";\n"
+       << "    call an" << Id << ".setVal(av" << Id << ");\n";
+  }
+
+  /// Entity round trip: store a typed value, read it back, downcast.
+  /// Precise analyses prove the cast safe; CI merges all entities' vals.
+  /// A small fraction of the casts are deliberately wrong (real bugs) so
+  /// the recall experiment sees dynamically failing casts too.
+  void emitEntityAction(const std::string &Id, bool Wrapped) {
+    uint32_t EI = R.nextInRange(C.NumEntityClasses);
+    uint32_t VI = R.nextInRange(touchedClasses());
+    std::string E = ent(EI), V = ent(VI);
+    std::string CastTo = R.nextBool(0.06) ? ent(VI + 1) : V;
+    std::string Set = "setVal", Get = "getVal";
+    if (Wrapped) {
+      uint32_t D = 1 + R.nextInRange(C.WrapperDepth);
+      Set = "wSetVal_" + std::to_string(D);
+      Get = "wGetVal_" + std::to_string(D);
+    }
+    OS << "    var en" << Id << ": " << E << ";\n"
+       << "    en" << Id << " = new " << E << ";\n"
+       << "    var ev" << Id << ": " << V << ";\n"
+       << "    ev" << Id << " = new " << V << ";\n"
+       << "    call en" << Id << "." << Set << "(ev" << Id << ");\n"
+       << "    var eg" << Id << ": Object;\n"
+       << "    eg" << Id << " = call en" << Id << "." << Get << "();\n"
+       << "    var ec" << Id << ": " << CastTo << ";\n"
+       << "    ec" << Id << " = (" << CastTo << ") eg" << Id << ";\n";
+    emitTouch("eg" + Id, "et" + Id);
+  }
+
+  /// Dispatches touch() on a retrieved Object-typed value.
+  void emitTouch(const std::string &Src, const std::string &Tmp) {
+    OS << "    var " << Tmp << ": Entity;\n"
+       << "    " << Tmp << " = (Entity) " << Src << ";\n"
+       << "    var " << Tmp << "r: Object;\n"
+       << "    " << Tmp << "r = call " << Tmp << ".touch();\n";
+  }
+
+  /// Polymorphic dispatch over a family.
+  void emitFamilyAction(const std::string &Id) {
+    uint32_t K = R.nextInRange(C.NumFamilies);
+    std::string Base = "Fam_" + std::to_string(K);
+    OS << "    var ff" << Id << ": " << Base << ";\n";
+    for (uint32_t J = 0; J + 1 < C.FamilySize; ++J)
+      OS << "    if ? {\n"
+         << "      ff" << Id << " = new " << Base << "_S_" << J << ";\n"
+         << "    } else {\n";
+    OS << "      ff" << Id << " = new " << Base << "_S_"
+       << (C.FamilySize - 1) << ";\n";
+    for (uint32_t J = 0; J + 1 < C.FamilySize; ++J)
+      OS << "    }\n";
+    OS << "    var fx" << Id << ": Object;\n"
+       << "    fx" << Id << " = new Object;\n"
+       << "    var fw" << Id << ": Object;\n"
+       << "    fw" << Id << " = call ff" << Id << ".work(fx" << Id
+       << ");\n";
+  }
+
+  /// Local-flow selector with a downcast of the result.
+  void emitSelectorAction(const std::string &Id) {
+    uint32_t K = R.nextInRange(C.NumSelectors);
+    uint32_t EI = R.nextInRange(C.NumEntityClasses);
+    std::string E = ent(EI);
+    OS << "    var sa" << Id << ": " << E << ";\n"
+       << "    sa" << Id << " = new " << E << ";\n"
+       << "    var sb" << Id << ": " << E << ";\n"
+       << "    sb" << Id << " = new " << E << ";\n"
+       << "    var sr" << Id << ": Object;\n"
+       << "    sr" << Id << " = scall Util.select_" << K << "(sa" << Id
+       << ", sb" << Id << ");\n"
+       << "    var sc" << Id << ": " << E << ";\n"
+       << "    sc" << Id << " = (" << E << ") sr" << Id << ";\n";
+  }
+
+  /// Collection round trip, optionally through an iterator.
+  void emitListAction(const std::string &Id) {
+    static const char *Kinds[] = {"ArrayList", "LinkedList", "HashSet"};
+    const char *Kind = Kinds[R.nextInRange(3)];
+    uint32_t EI = R.nextInRange(touchedClasses());
+    std::string E = ent(EI);
+    OS << "    var cl" << Id << ": " << Kind << ";\n"
+       << "    cl" << Id << " = new " << Kind << ";\n"
+       << "    dcall cl" << Id << "." << Kind << ".init();\n"
+       << "    var ce" << Id << ": " << E << ";\n"
+       << "    ce" << Id << " = new " << E << ";\n"
+       << "    call cl" << Id << ".add(ce" << Id << ");\n"
+       << "    var co" << Id << ": Object;\n"
+       << "    co" << Id << " = call cl" << Id << ".get();\n"
+       << "    var cc" << Id << ": " << E << ";\n"
+       << "    cc" << Id << " = (" << E << ") co" << Id << ";\n";
+    emitTouch("co" + Id, "ct" + Id);
+    if (R.nextBool()) {
+      OS << "    var ci" << Id << ": Iterator;\n"
+         << "    ci" << Id << " = call cl" << Id << ".iterator();\n"
+         << "    var cn" << Id << ": Object;\n"
+         << "    cn" << Id << " = call ci" << Id << ".next();\n"
+         << "    var cm" << Id << ": " << E << ";\n"
+         << "    cm" << Id << " = (" << E << ") cn" << Id << ";\n";
+    }
+  }
+
+  /// Map round trip; value retrieval and key-view iteration.
+  void emitMapAction(const std::string &Id) {
+    uint32_t KI = R.nextInRange(touchedClasses());
+    uint32_t VI = R.nextInRange(touchedClasses());
+    std::string KT = ent(KI), VT = ent(VI);
+    OS << "    var mm" << Id << ": HashMap;\n"
+       << "    mm" << Id << " = new HashMap;\n"
+       << "    dcall mm" << Id << ".HashMap.init();\n"
+       << "    var mk" << Id << ": " << KT << ";\n"
+       << "    mk" << Id << " = new " << KT << ";\n"
+       << "    var mv" << Id << ": " << VT << ";\n"
+       << "    mv" << Id << " = new " << VT << ";\n"
+       << "    call mm" << Id << ".put(mk" << Id << ", mv" << Id << ");\n"
+       << "    var mg" << Id << ": Object;\n"
+       << "    mg" << Id << " = call mm" << Id << ".get(mk" << Id << ");\n"
+       << "    var mc" << Id << ": " << VT << ";\n"
+       << "    mc" << Id << " = (" << VT << ") mg" << Id << ";\n";
+    emitTouch("mg" + Id, "mt" + Id);
+    if (R.nextBool()) {
+      OS << "    var ms" << Id << ": Collection;\n"
+         << "    ms" << Id << " = call mm" << Id << ".keySet();\n"
+         << "    var mi" << Id << ": Iterator;\n"
+         << "    mi" << Id << " = call ms" << Id << ".iterator();\n"
+         << "    var mo" << Id << ": Object;\n"
+         << "    mo" << Id << " = call mi" << Id << ".next();\n"
+         << "    var md" << Id << ": " << KT << ";\n"
+         << "    md" << Id << " = (" << KT << ") mo" << Id << ";\n";
+    }
+  }
+
+  /// Fluent StringBuilder chain (local flow on `this`).
+  void emitStringAction(const std::string &Id) {
+    OS << "    var tb" << Id << ": StringBuilder;\n"
+       << "    tb" << Id << " = new StringBuilder;\n"
+       << "    var ts" << Id << ": String;\n"
+       << "    ts" << Id << " = new String;\n"
+       << "    var tc" << Id << ": StringBuilder;\n"
+       << "    tc" << Id << " = call tb" << Id << ".append(ts" << Id
+       << ");\n"
+       << "    var tr" << Id << ": String;\n"
+       << "    tr" << Id << " = call tc" << Id << ".toString();\n";
+  }
+
+  /// Static registry store/load.
+  void emitRegistryAction(const std::string &Id) {
+    uint32_t K = R.nextInRange(C.NumSelectors);
+    uint32_t EI = R.nextInRange(C.NumEntityClasses);
+    std::string E = ent(EI);
+    OS << "    var ro" << Id << ": " << E << ";\n"
+       << "    ro" << Id << " = new " << E << ";\n"
+       << "    Util::reg_" << K << " = ro" << Id << ";\n"
+       << "    var rg" << Id << ": Object;\n"
+       << "    rg" << Id << " = Util::reg_" << K << ";\n";
+  }
+
+  void emitMain() {
+    OS << "class Main {\n  static method main(): void {\n";
+    if (C.BombDepth > 0 && C.BombWidth > 0)
+      OS << "    var bomb: Bomb_0;\n"
+         << "    bomb = new Bomb_0;\n"
+         << "    call bomb.build();\n";
+    for (uint32_t S = 0; S < C.NumScenarios; ++S)
+      OS << "    scall Scen_" << S << ".run();\n";
+    OS << "  }\n}\n";
+  }
+
+  const WorkloadConfig &C;
+  Rng R;
+  std::ostringstream OS;
+};
+
+} // namespace
+
+std::string csc::generateWorkload(const WorkloadConfig &C) {
+  return Generator(C).run();
+}
+
+std::unique_ptr<Program>
+csc::buildWorkloadProgram(const WorkloadConfig &C,
+                          std::vector<std::string> &Diags) {
+  auto P = std::make_unique<Program>();
+  if (!parseProgram(*P,
+                    {{"<stdlib>", stdlibSource()},
+                     {C.Name + ".jir", generateWorkload(C)}},
+                    Diags))
+    return nullptr;
+  return P;
+}
+
+std::vector<WorkloadConfig> csc::paperBenchmarkSuite() {
+  // Profiles approximating the evaluated programs' character:
+  //  * same-class bombs break 2obj but leave 2type scalable,
+  //  * multi-class bombs break both,
+  //  * eclipse/jedit/findbugs carry no bomb (2obj finishes there in
+  //    Table 2, slowly).
+  std::vector<WorkloadConfig> Suite;
+
+  auto Mk = [&](const char *Name, uint64_t Seed, uint32_t Scen,
+                uint32_t Act, uint32_t Ent, uint32_t Wrap, uint32_t Fam,
+                uint32_t FamSz, uint32_t Sel, uint32_t BW, uint32_t BD,
+                bool Multi) {
+    WorkloadConfig C;
+    C.Name = Name;
+    C.Seed = Seed;
+    C.NumScenarios = Scen;
+    C.ActionsPerScenario = Act;
+    C.NumEntityClasses = Ent;
+    C.WrapperDepth = Wrap;
+    C.NumFamilies = Fam;
+    C.FamilySize = FamSz;
+    C.NumSelectors = Sel;
+    C.BombWidth = BW;
+    C.BombDepth = BD;
+    C.BombMultiClass = Multi;
+    Suite.push_back(C);
+  };
+
+  //   name       seed scen act ent wrap fam fsz sel bombW bombD multi
+  Mk("eclipse",    11, 120, 16, 20,  2,  14,  4,  8,  70,    7, false);
+  Mk("freecol",    12, 150, 16, 18,  3,  16,  4, 10,  70,    8, true);
+  Mk("briss",      13, 110, 14, 14,  2,  10,  3,  8,  64,    8, true);
+  Mk("hsqldb",     14,  40, 10,  8,  1,   6,  3,  4, 110,    8, false);
+  Mk("jedit",      15,  70, 12, 12,  2,  10,  4,  6,  60,    7, false);
+  Mk("gruntspud",  16, 130, 16, 16,  3,  12,  4,  8,  66,    8, true);
+  Mk("soot",       17, 200, 20, 22,  3,  18,  5, 12,  80,    9, true);
+  Mk("columba",    18, 220, 18, 18,  3,  16,  4, 10,  70,    8, true);
+  Mk("jython",     19,  60, 12,  8,  2,   8,  3,  6,  64,    8, true);
+  Mk("findbugs",   20,  50, 10, 10,  1,   8,  3,  4,  55,    6, false);
+
+  return Suite;
+}

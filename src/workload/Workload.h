@@ -1,0 +1,76 @@
+//===- Workload.h - Synthetic benchmark generator ---------------*- C++ -*-===//
+//
+// Part of the Cut-Shortcut pointer analysis reproduction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Deterministic generator of Java-like benchmark programs. The paper
+/// evaluates on ten large real programs (eclipse, freecol, briss, hsqldb,
+/// jedit, gruntspud, soot, columba, jython, findbugs) which we cannot
+/// ship; the generator produces programs with the analysis-relevant
+/// characteristics instead:
+///
+///  * entity classes with setters/getters and nested wrapper chains
+///    (field access pattern material),
+///  * polymorphic class families called through base types (poly-call and
+///    call-graph metric material),
+///  * container-heavy code with downcasts of retrieved elements
+///    (container pattern and #fail-cast material),
+///  * select-style utilities (local flow pattern material),
+///  * optional "context bombs" — allocation/call structures whose
+///    context-sensitive analysis cost explodes (the 2obj/2type
+///    scalability cliffs of Tables 1 and 2). Same-class bombs break
+///    2obj but not 2type; multi-class bombs break both.
+///
+/// Each named paper program maps to a parameter profile (size, pattern
+/// density, bomb shape) so the evaluation tables reproduce the paper's
+/// qualitative shape.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CSC_WORKLOAD_WORKLOAD_H
+#define CSC_WORKLOAD_WORKLOAD_H
+
+#include "ir/Program.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace csc {
+
+struct WorkloadConfig {
+  std::string Name = "synthetic";
+  uint64_t Seed = 42;
+
+  uint32_t NumEntityClasses = 10; ///< Data classes with accessors.
+  uint32_t WrapperDepth = 2;      ///< Nested setter/getter chain length.
+  uint32_t NumFamilies = 5;       ///< Polymorphic families.
+  uint32_t FamilySize = 3;        ///< Concrete subclasses per family.
+  uint32_t NumSelectors = 4;      ///< Local-flow utility methods.
+  uint32_t NumScenarios = 8;      ///< Scenario classes driven from main.
+  uint32_t ActionsPerScenario = 10;
+
+  // Context bomb: Width allocation sites per level over Depth levels.
+  uint32_t BombDepth = 0;
+  uint32_t BombWidth = 0;
+  /// True: bomb allocation sites spread over distinct classes (breaks
+  /// 2type as well); false: one class per level (breaks only 2obj).
+  bool BombMultiClass = false;
+};
+
+/// Emits the `.jir` source of a workload (stdlib not included).
+std::string generateWorkload(const WorkloadConfig &C);
+
+/// Parses stdlib + generated workload into a fresh program.
+/// Returns nullptr and fills \p Diags on error (generator bug).
+std::unique_ptr<Program> buildWorkloadProgram(const WorkloadConfig &C,
+                                              std::vector<std::string> &Diags);
+
+/// The ten paper-program profiles used by the benchmark harnesses.
+std::vector<WorkloadConfig> paperBenchmarkSuite();
+
+} // namespace csc
+
+#endif // CSC_WORKLOAD_WORKLOAD_H

@@ -1,0 +1,122 @@
+//===- TestUtil.h - Shared helpers for the test suite -----------*- C++ -*-===//
+//
+// Part of the Cut-Shortcut pointer analysis reproduction.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef CSC_TESTS_TESTUTIL_H
+#define CSC_TESTS_TESTUTIL_H
+
+#include "frontend/Parser.h"
+#include "ir/Program.h"
+#include "ir/Verifier.h"
+#include "stdlib/Stdlib.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace csc::test {
+
+/// Parses `.jir` source into a fresh program; fails the test on errors.
+inline std::unique_ptr<Program> parseOrDie(const std::string &Source) {
+  auto P = std::make_unique<Program>();
+  std::vector<std::string> Diags;
+  bool Ok = parseProgram(*P, {{"test.jir", Source}}, Diags);
+  for (const std::string &D : Diags)
+    ADD_FAILURE() << D;
+  EXPECT_TRUE(Ok);
+  std::vector<std::string> Errors = verifyProgram(*P);
+  for (const std::string &E : Errors)
+    ADD_FAILURE() << "verifier: " << E;
+  EXPECT_TRUE(Errors.empty());
+  return P;
+}
+
+/// Parses user source together with the modelled standard library.
+inline std::unique_ptr<Program> parseWithStdlib(const std::string &Source) {
+  auto P = std::make_unique<Program>();
+  std::vector<std::string> Diags;
+  bool Ok = parseProgram(
+      *P, {{"<stdlib>", stdlibSource()}, {"test.jir", Source}}, Diags);
+  for (const std::string &D : Diags)
+    ADD_FAILURE() << D;
+  EXPECT_TRUE(Ok);
+  return P;
+}
+
+/// Finds a method "Class.name" (any arity); fails if absent.
+inline MethodId findMethod(const Program &P, const std::string &Cls,
+                           const std::string &Name) {
+  TypeId T = P.typeByName(Cls);
+  EXPECT_NE(T, InvalidId) << "no class " << Cls;
+  if (T == InvalidId)
+    return InvalidId;
+  for (MethodId M : P.type(T).Methods)
+    if (P.method(M).Name == Name)
+      return M;
+  ADD_FAILURE() << "no method " << Cls << "." << Name;
+  return InvalidId;
+}
+
+/// Finds a variable by name within a method; fails if absent.
+inline VarId findVar(const Program &P, MethodId M, const std::string &Name) {
+  for (VarId V : P.method(M).Vars)
+    if (P.var(V).Name == Name)
+      return V;
+  ADD_FAILURE() << "no variable " << Name << " in " << P.methodString(M);
+  return InvalidId;
+}
+
+/// The allocation site assigned to \p V by a `new` statement in its method.
+inline ObjId allocOf(const Program &P, VarId V) {
+  for (StmtId S : P.var(V).Defs) {
+    const Stmt &St = P.stmt(S);
+    if (St.isAllocation())
+      return St.Obj;
+  }
+  ADD_FAILURE() << "variable " << P.var(V).Name << " has no allocation";
+  return InvalidId;
+}
+
+/// The paper's Figure 1 motivating example, translated to `.jir`.
+inline const char *figure1Source() {
+  return R"(
+class Item { }
+class Carton {
+  field item: Item;
+  method setItem(item: Item): void {
+    this.item = item;
+  }
+  method getItem(): Item {
+    var r: Item;
+    r = this.item;
+    return r;
+  }
+}
+class Main {
+  static method main(): void {
+    var c1: Carton;
+    var item1: Item;
+    var result1: Item;
+    var c2: Carton;
+    var item2: Item;
+    var result2: Item;
+    c1 = new Carton;
+    item1 = new Item;
+    call c1.setItem(item1);
+    result1 = call c1.getItem();
+    c2 = new Carton;
+    item2 = new Item;
+    call c2.setItem(item2);
+    result2 = call c2.getItem();
+  }
+}
+)";
+}
+
+} // namespace csc::test
+
+#endif // CSC_TESTS_TESTUTIL_H

@@ -1,0 +1,189 @@
+//===- MetricsTest.cpp - Precision clients & analysis runner --------------===//
+//
+// Part of the Cut-Shortcut pointer analysis reproduction.
+//
+//===----------------------------------------------------------------------===//
+
+#include "client/AnalysisRunner.h"
+#include "client/Metrics.h"
+#include "pta/Solver.h"
+
+#include "../TestUtil.h"
+
+#include <gtest/gtest.h>
+
+using namespace csc;
+using namespace csc::test;
+
+namespace {
+
+/// Two lists of differently-typed elements; retrieval casts to the
+/// expected type. CI merges the lists (both casts may fail); Cut-Shortcut
+/// separates them (neither can fail).
+const char *castWorkload() {
+  return R"(
+class Apple { }
+class Banana { }
+class Main {
+  static method main(): void {
+    var apples: ArrayList;
+    var bananas: ArrayList;
+    var a: Apple;
+    var b: Banana;
+    var oa: Object;
+    var ob: Object;
+    var ra: Apple;
+    var rb: Banana;
+    apples = new ArrayList;
+    dcall apples.ArrayList.init();
+    bananas = new ArrayList;
+    dcall bananas.ArrayList.init();
+    a = new Apple;
+    b = new Banana;
+    call apples.add(a);
+    call bananas.add(b);
+    oa = call apples.get();
+    ob = call bananas.get();
+    ra = (Apple) oa;
+    rb = (Banana) ob;
+  }
+}
+)";
+}
+
+} // namespace
+
+TEST(MetricsTest, FailCastsDropUnderCSC) {
+  auto P = parseWithStdlib(castWorkload());
+  RunConfig CI;
+  CI.Kind = AnalysisKind::CI;
+  RunOutcome RCI = runAnalysis(*P, CI);
+  RunConfig CSC;
+  CSC.Kind = AnalysisKind::CSC;
+  RunOutcome RCSC = runAnalysis(*P, CSC);
+
+  EXPECT_EQ(RCI.Metrics.FailCasts, 2u) << "CI merges the two lists";
+  EXPECT_EQ(RCSC.Metrics.FailCasts, 0u) << "CSC separates the two lists";
+}
+
+TEST(MetricsTest, PolyCallCounting) {
+  auto P = parseOrDie(R"(
+class A {
+  method m(): void { }
+}
+class B extends A {
+  method m(): void { }
+}
+class Main {
+  static method main(): void {
+    var x: A;
+    var y: A;
+    if ? {
+      x = new A;
+    } else {
+      x = new B;
+    }
+    call x.m();
+    y = new A;
+    call y.m();
+  }
+}
+)");
+  Solver S(*P, {});
+  PTAResult R = S.solve();
+  PrecisionMetrics M = computeMetrics(*P, R);
+  EXPECT_EQ(M.PolyCalls, 1u); // Only x.m() is polymorphic.
+  EXPECT_EQ(M.CallEdges, 3u); // x.m -> A.m, B.m; y.m -> A.m.
+  EXPECT_EQ(M.ReachMethods, 3u);
+}
+
+TEST(MetricsTest, MayFailCastIdentifiesStatement) {
+  auto P = parseOrDie(R"(
+class A { }
+class B { }
+class Main {
+  static method main(): void {
+    var o: Object;
+    var a: A;
+    var b: B;
+    o = new A;
+    a = (A) o;
+    b = (B) o;
+  }
+}
+)");
+  Solver S(*P, {});
+  PTAResult R = S.solve();
+  std::vector<StmtId> Fails = mayFailCasts(*P, R);
+  ASSERT_EQ(Fails.size(), 1u);
+  EXPECT_EQ(P->stmt(Fails[0]).Type, P->typeByName("B"));
+}
+
+TEST(MetricsTest, UnreachableCastsIgnored) {
+  auto P = parseOrDie(R"(
+class A { }
+class B { }
+class Dead {
+  method never(o: Object): void {
+    var b: B;
+    b = (B) o;
+  }
+}
+class Main {
+  static method main(): void {
+    var o: Object;
+    o = new A;
+  }
+}
+)");
+  Solver S(*P, {});
+  PTAResult R = S.solve();
+  EXPECT_TRUE(mayFailCasts(*P, R).empty());
+}
+
+TEST(MetricsTest, RunnerAllAnalysisKindsAgreeOnSoundness) {
+  auto P = parseWithStdlib(castWorkload());
+  RunConfig Base;
+  RunOutcome CI = runAnalysis(*P, Base);
+  for (AnalysisKind K :
+       {AnalysisKind::CSC, AnalysisKind::ZipperE, AnalysisKind::TwoObj,
+        AnalysisKind::TwoType, AnalysisKind::TwoCallSite}) {
+    RunConfig C;
+    C.Kind = K;
+    RunOutcome Out = runAnalysis(*P, C);
+    EXPECT_FALSE(Out.Exhausted) << analysisName(K);
+    // Precision metrics never exceed CI's (smaller is better and CI is
+    // the least precise sound analysis here).
+    EXPECT_LE(Out.Metrics.FailCasts, CI.Metrics.FailCasts)
+        << analysisName(K);
+    EXPECT_LE(Out.Metrics.CallEdges, CI.Metrics.CallEdges)
+        << analysisName(K);
+    EXPECT_LE(Out.Metrics.ReachMethods, CI.Metrics.ReachMethods)
+        << analysisName(K);
+    EXPECT_LE(Out.Metrics.PolyCalls, CI.Metrics.PolyCalls)
+        << analysisName(K);
+  }
+}
+
+TEST(MetricsTest, RunnerDoopModeDisablesLoadPattern) {
+  auto P = parseOrDie(figure1Source());
+  RunConfig C;
+  C.Kind = AnalysisKind::CSC;
+  C.DoopMode = true;
+  RunOutcome Out = runAnalysis(*P, C);
+  // Store-side cuts fire; the load side is disabled in doop mode, so the
+  // call results are merged like CI.
+  MethodId Main = findMethod(*P, "Main", "main");
+  VarId Result1 = findVar(*P, Main, "result1");
+  EXPECT_EQ(Out.Result.pt(Result1).size(), 2u);
+  EXPECT_GE(Out.Csc.CutStores, 1u);
+}
+
+TEST(MetricsTest, RunnerReportsBudgetExhaustion) {
+  auto P = parseWithStdlib(castWorkload());
+  RunConfig C;
+  C.Kind = AnalysisKind::TwoObj;
+  C.WorkBudget = 2;
+  RunOutcome Out = runAnalysis(*P, C);
+  EXPECT_TRUE(Out.Exhausted);
+}

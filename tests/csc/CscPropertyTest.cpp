@@ -1,0 +1,164 @@
+//===- CscPropertyTest.cpp - Cross-analysis properties of Cut-Shortcut ----===//
+//
+// Part of the Cut-Shortcut pointer analysis reproduction.
+//
+// Properties the approach must satisfy on arbitrary (generated) programs:
+//  * CSC is never less precise than CI, pointwise on every variable and
+//    on the call graph;
+//  * with all patterns disabled, CSC degenerates to exactly CI;
+//  * results and statistics are deterministic;
+//  * each precision metric is monotone across CI -> CSC;
+//  * the doop variant (no load handling) sits between CI and full CSC.
+//
+//===----------------------------------------------------------------------===//
+
+#include "client/AnalysisRunner.h"
+#include "csc/CutShortcutPlugin.h"
+#include "pta/Solver.h"
+#include "stdlib/ContainerSpec.h"
+#include "workload/Workload.h"
+
+#include <gtest/gtest.h>
+
+using namespace csc;
+
+namespace {
+
+WorkloadConfig propertyConfig(uint64_t Seed) {
+  WorkloadConfig C;
+  C.Name = "prop";
+  C.Seed = Seed;
+  C.NumScenarios = 5;
+  C.ActionsPerScenario = 9;
+  C.NumEntityClasses = 9;
+  C.WrapperDepth = 2;
+  C.NumFamilies = 4;
+  C.FamilySize = 3;
+  C.NumSelectors = 3;
+  return C;
+}
+
+class CscPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+RunOutcome run(const Program &P, AnalysisKind K,
+               CutShortcutOptions Opts = {}) {
+  RunConfig C;
+  C.Kind = K;
+  C.Csc = Opts;
+  return runAnalysis(P, C);
+}
+
+} // namespace
+
+TEST_P(CscPropertyTest, NeverLessPreciseThanCI) {
+  std::vector<std::string> Diags;
+  auto P = buildWorkloadProgram(propertyConfig(GetParam()), Diags);
+  ASSERT_NE(P, nullptr);
+  RunOutcome CI = run(*P, AnalysisKind::CI);
+  RunOutcome CSC = run(*P, AnalysisKind::CSC);
+
+  uint64_t CIPts = 0, CSCPts = 0;
+  for (VarId V = 0; V < P->numVars(); ++V) {
+    CIPts += CI.Result.pt(V).size();
+    CSCPts += CSC.Result.pt(V).size();
+    CSC.Result.pt(V).forEach([&](ObjId O) {
+      EXPECT_TRUE(CI.Result.pt(V).contains(O))
+          << P->var(V).Name << " in "
+          << P->methodString(P->var(V).Method);
+    });
+  }
+  EXPECT_LE(CSCPts, CIPts);
+  // Call graph containment.
+  for (CallSiteId CS = 0; CS < P->numCallSites(); ++CS)
+    for (MethodId M : CSC.Result.calleesOf(CS)) {
+      bool Found = false;
+      for (MethodId CIM : CI.Result.calleesOf(CS))
+        Found = Found || CIM == M;
+      EXPECT_TRUE(Found) << "CSC invented a call edge";
+    }
+  for (MethodId M : CSC.Result.reachableMethods())
+    EXPECT_TRUE(CI.Result.isReachable(M));
+}
+
+TEST_P(CscPropertyTest, MetricsMonotone) {
+  std::vector<std::string> Diags;
+  auto P = buildWorkloadProgram(propertyConfig(GetParam()), Diags);
+  ASSERT_NE(P, nullptr);
+  RunOutcome CI = run(*P, AnalysisKind::CI);
+  RunOutcome CSC = run(*P, AnalysisKind::CSC);
+  EXPECT_LE(CSC.Metrics.FailCasts, CI.Metrics.FailCasts);
+  EXPECT_LE(CSC.Metrics.ReachMethods, CI.Metrics.ReachMethods);
+  EXPECT_LE(CSC.Metrics.PolyCalls, CI.Metrics.PolyCalls);
+  EXPECT_LE(CSC.Metrics.CallEdges, CI.Metrics.CallEdges);
+  // And CSC genuinely improves something on these workloads.
+  EXPECT_LT(CSC.Metrics.FailCasts, CI.Metrics.FailCasts);
+}
+
+TEST_P(CscPropertyTest, AllPatternsOffEqualsCI) {
+  std::vector<std::string> Diags;
+  auto P = buildWorkloadProgram(propertyConfig(GetParam()), Diags);
+  ASSERT_NE(P, nullptr);
+  CutShortcutOptions Off;
+  Off.FieldStore = Off.FieldLoad = Off.Container = Off.LocalFlow = false;
+  RunOutcome CI = run(*P, AnalysisKind::CI);
+  RunOutcome Null = run(*P, AnalysisKind::CSC, Off);
+  for (VarId V = 0; V < P->numVars(); ++V)
+    EXPECT_EQ(Null.Result.pt(V).toVector(), CI.Result.pt(V).toVector());
+  EXPECT_EQ(Null.Metrics.CallEdges, CI.Metrics.CallEdges);
+  EXPECT_EQ(Null.Metrics.FailCasts, CI.Metrics.FailCasts);
+}
+
+TEST_P(CscPropertyTest, DoopVariantBetweenCIAndFull) {
+  std::vector<std::string> Diags;
+  auto P = buildWorkloadProgram(propertyConfig(GetParam()), Diags);
+  ASSERT_NE(P, nullptr);
+  CutShortcutOptions NoLoad;
+  NoLoad.FieldLoad = false;
+  RunOutcome CI = run(*P, AnalysisKind::CI);
+  RunOutcome Doop = run(*P, AnalysisKind::CSC, NoLoad);
+  RunOutcome Full = run(*P, AnalysisKind::CSC);
+  EXPECT_LE(Doop.Metrics.FailCasts, CI.Metrics.FailCasts);
+  EXPECT_LE(Full.Metrics.FailCasts, Doop.Metrics.FailCasts);
+  // The doop variant stays sound: still a subset of CI pointwise.
+  for (VarId V = 0; V < P->numVars(); ++V)
+    Doop.Result.pt(V).forEach([&](ObjId O) {
+      EXPECT_TRUE(CI.Result.pt(V).contains(O));
+    });
+}
+
+TEST_P(CscPropertyTest, Deterministic) {
+  std::vector<std::string> Diags1, Diags2;
+  auto P1 = buildWorkloadProgram(propertyConfig(GetParam()), Diags1);
+  auto P2 = buildWorkloadProgram(propertyConfig(GetParam()), Diags2);
+  ASSERT_NE(P1, nullptr);
+  ASSERT_NE(P2, nullptr);
+
+  ContainerSpec S1 = ContainerSpec::forProgram(*P1);
+  ContainerSpec S2 = ContainerSpec::forProgram(*P2);
+  CutShortcutPlugin Pl1(*P1, S1), Pl2(*P2, S2);
+  Solver Sol1(*P1, {}), Sol2(*P2, {});
+  Sol1.addPlugin(&Pl1);
+  Sol2.addPlugin(&Pl2);
+  PTAResult R1 = Sol1.solve();
+  PTAResult R2 = Sol2.solve();
+
+  EXPECT_EQ(R1.Stats.PtsInsertions, R2.Stats.PtsInsertions);
+  EXPECT_EQ(R1.Stats.PFGEdges, R2.Stats.PFGEdges);
+  EXPECT_EQ(Pl1.stats().CutStores, Pl2.stats().CutStores);
+  EXPECT_EQ(Pl1.stats().CutReturns, Pl2.stats().CutReturns);
+  EXPECT_EQ(Pl1.stats().ShortcutEdges, Pl2.stats().ShortcutEdges);
+  for (VarId V = 0; V < P1->numVars(); ++V)
+    EXPECT_EQ(R1.pt(V).toVector(), R2.pt(V).toVector());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CscPropertyTest,
+                         ::testing::Values(11u, 23u, 37u, 59u, 71u));
+
+TEST(CscContextGuardTest, TwoObjPlusCscAsserts) {
+  // The plugin is defined for the CI solver only (§3.1: "no contexts are
+  // applied to any methods"); combining it with a context-sensitive
+  // selector is a usage error caught in debug builds. In release builds
+  // we simply document the restriction; nothing to check here beyond the
+  // CI path working, which other tests cover.
+  SUCCEED();
+}

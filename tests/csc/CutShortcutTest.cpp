@@ -1,0 +1,746 @@
+//===- CutShortcutTest.cpp - The paper's examples, end to end -------------===//
+//
+// Part of the Cut-Shortcut pointer analysis reproduction.
+//
+// Each motivating example of the paper (Figs. 1, 3, 4, 5) is translated to
+// `.jir` and checked: Cut-Shortcut must reach the precise result the paper
+// derives, while remaining sound (a superset of nothing real is lost —
+// checked against expected exact sets) and never less precise than CI.
+//
+//===----------------------------------------------------------------------===//
+
+#include "csc/CutShortcutPlugin.h"
+#include "pta/Solver.h"
+#include "stdlib/ContainerSpec.h"
+
+#include "../TestUtil.h"
+
+#include <gtest/gtest.h>
+
+using namespace csc;
+using namespace csc::test;
+
+namespace {
+
+PTAResult solveCSC(const Program &P, CutShortcutOptions Opts = {},
+                   CutShortcutStats *StatsOut = nullptr) {
+  ContainerSpec Spec = ContainerSpec::forProgram(P);
+  CutShortcutPlugin Plugin(P, Spec, Opts);
+  Solver S(P, {});
+  S.addPlugin(&Plugin);
+  PTAResult R = S.solve();
+  if (StatsOut)
+    *StatsOut = Plugin.stats();
+  return R;
+}
+
+PTAResult solveCI(const Program &P) {
+  Solver S(P, {});
+  return S.solve();
+}
+
+/// CSC must be sound AND at least as precise as CI on every variable:
+/// each CSC points-to set is a subset of the CI one.
+void expectNoLessPreciseThanCI(const Program &P, const PTAResult &CSC,
+                               const PTAResult &CI) {
+  for (VarId V = 0; V < P.numVars(); ++V) {
+    CSC.pt(V).forEach([&](ObjId O) {
+      EXPECT_TRUE(CI.pt(V).contains(O))
+          << "CSC added object " << O << " to "
+          << P.methodString(P.var(V).Method) << "." << P.var(V).Name
+          << " that CI does not have";
+    });
+  }
+  // Call graph: CSC reachable ⊆ CI reachable.
+  for (MethodId M : CSC.reachableMethods())
+    EXPECT_TRUE(CI.isReachable(M)) << P.methodString(M);
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Figure 1: field access pattern (store + load)
+//===----------------------------------------------------------------------===//
+
+TEST(CutShortcutTest, Figure1PreciseResults) {
+  auto P = parseOrDie(figure1Source());
+  PTAResult R = solveCSC(*P);
+
+  MethodId Main = findMethod(*P, "Main", "main");
+  ObjId O15 = allocOf(*P, findVar(*P, Main, "c1"));
+  ObjId O16 = allocOf(*P, findVar(*P, Main, "item1"));
+  ObjId O20 = allocOf(*P, findVar(*P, Main, "c2"));
+  ObjId O21 = allocOf(*P, findVar(*P, Main, "item2"));
+  FieldId ItemF = P->resolveField(P->typeByName("Carton"), "item");
+
+  // Store handling (§3.2.1): pt(o15.item) = {o16}, pt(o20.item) = {o21}.
+  EXPECT_EQ(R.ptField(O15, ItemF).toVector(), std::vector<uint32_t>{O16});
+  EXPECT_EQ(R.ptField(O20, ItemF).toVector(), std::vector<uint32_t>{O21});
+
+  // Load handling (§3.2.2): pt(result1) = {o16}, pt(result2) = {o21}.
+  VarId Result1 = findVar(*P, Main, "result1");
+  VarId Result2 = findVar(*P, Main, "result2");
+  EXPECT_EQ(R.pt(Result1).toVector(), std::vector<uint32_t>{O16});
+  EXPECT_EQ(R.pt(Result2).toVector(), std::vector<uint32_t>{O21});
+}
+
+TEST(CutShortcutTest, Figure1RegistersCutsAndShortcuts) {
+  auto P = parseOrDie(figure1Source());
+  CutShortcutStats Stats;
+  solveCSC(*P, {}, &Stats);
+  EXPECT_GE(Stats.CutStores, 1u);   // setItem's store.
+  EXPECT_GE(Stats.CutReturns, 1u);  // getItem's return.
+  EXPECT_GE(Stats.ShortcutEdges, 4u);
+  // setItem, getItem, and main are involved.
+  EXPECT_GE(Stats.Involved.size(), 3u);
+}
+
+TEST(CutShortcutTest, Figure1NoLessPreciseThanCI) {
+  auto P = parseOrDie(figure1Source());
+  PTAResult CSC = solveCSC(*P);
+  PTAResult CI = solveCI(*P);
+  expectNoLessPreciseThanCI(*P, CSC, CI);
+  // Reachability is identical on this example.
+  EXPECT_EQ(CSC.numReachableCI(), CI.numReachableCI());
+}
+
+TEST(CutShortcutTest, StoreOnlyStillImprovesFields) {
+  auto P = parseOrDie(figure1Source());
+  CutShortcutOptions Opts;
+  Opts.FieldLoad = false;
+  Opts.Container = false;
+  Opts.LocalFlow = false;
+  PTAResult R = solveCSC(*P, Opts);
+  MethodId Main = findMethod(*P, "Main", "main");
+  ObjId O15 = allocOf(*P, findVar(*P, Main, "c1"));
+  ObjId O16 = allocOf(*P, findVar(*P, Main, "item1"));
+  FieldId ItemF = P->resolveField(P->typeByName("Carton"), "item");
+  // Fields are precise...
+  EXPECT_EQ(R.ptField(O15, ItemF).toVector(), std::vector<uint32_t>{O16});
+  // ...but without load handling, getItem still merges both cartons'
+  // fields into r, so the call results stay merged (CI-level there).
+  VarId Result1 = findVar(*P, Main, "result1");
+  EXPECT_EQ(R.pt(Result1).size(), 2u);
+}
+
+//===----------------------------------------------------------------------===//
+// Figure 3: nested calls for field access
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+const char *figure3Source() {
+  return R"(
+class T { }
+class A {
+  field f: T;
+  method init(t: T): void {
+    call this.set(t);
+  }
+  method set(p: T): void {
+    this.f = p;
+  }
+}
+class Main {
+  static method main(): void {
+    var t1: T;
+    var a1: A;
+    var t2: T;
+    var a2: A;
+    t1 = new T;
+    a1 = new A;
+    dcall a1.A.init(t1);
+    t2 = new T;
+    a2 = new A;
+    dcall a2.A.init(t2);
+  }
+}
+)";
+}
+
+} // namespace
+
+TEST(CutShortcutTest, Figure3NestedStorePropagation) {
+  auto P = parseOrDie(figure3Source());
+  PTAResult R = solveCSC(*P);
+  MethodId Main = findMethod(*P, "Main", "main");
+  ObjId OA1 = allocOf(*P, findVar(*P, Main, "a1"));
+  ObjId OA2 = allocOf(*P, findVar(*P, Main, "a2"));
+  ObjId OT1 = allocOf(*P, findVar(*P, Main, "t1"));
+  ObjId OT2 = allocOf(*P, findVar(*P, Main, "t2"));
+  FieldId F = P->resolveField(P->typeByName("A"), "f");
+  // §3.2.3: the tempStore must travel through A.init to main's call sites.
+  EXPECT_EQ(R.ptField(OA1, F).toVector(), std::vector<uint32_t>{OT1});
+  EXPECT_EQ(R.ptField(OA2, F).toVector(), std::vector<uint32_t>{OT2});
+}
+
+TEST(CutShortcutTest, Figure3CIBaselineIsMerged) {
+  auto P = parseOrDie(figure3Source());
+  PTAResult R = solveCI(*P);
+  MethodId Main = findMethod(*P, "Main", "main");
+  ObjId OA1 = allocOf(*P, findVar(*P, Main, "a1"));
+  FieldId F = P->resolveField(P->typeByName("A"), "f");
+  EXPECT_EQ(R.ptField(OA1, F).size(), 2u); // Both T objects.
+}
+
+TEST(CutShortcutTest, NestedLoadPropagation) {
+  // The dual of Fig. 3 for loads: a getter wrapped by another method.
+  auto P = parseOrDie(R"(
+class T { }
+class A {
+  field f: T;
+  method setF(t: T): void {
+    this.f = t;
+  }
+  method getF(): T {
+    var r: T;
+    r = this.f;
+    return r;
+  }
+  method getViaWrapper(): T {
+    var r: T;
+    r = call this.getF();
+    return r;
+  }
+}
+class Main {
+  static method main(): void {
+    var a1: A;
+    var a2: A;
+    var t1: T;
+    var t2: T;
+    var r1: T;
+    var r2: T;
+    a1 = new A;
+    a2 = new A;
+    t1 = new T;
+    t2 = new T;
+    call a1.setF(t1);
+    call a2.setF(t2);
+    r1 = call a1.getViaWrapper();
+    r2 = call a2.getViaWrapper();
+  }
+}
+)");
+  PTAResult R = solveCSC(*P);
+  MethodId Main = findMethod(*P, "Main", "main");
+  ObjId OT1 = allocOf(*P, findVar(*P, Main, "t1"));
+  ObjId OT2 = allocOf(*P, findVar(*P, Main, "t2"));
+  VarId R1 = findVar(*P, Main, "r1");
+  VarId R2 = findVar(*P, Main, "r2");
+  EXPECT_EQ(R.pt(R1).toVector(), std::vector<uint32_t>{OT1});
+  EXPECT_EQ(R.pt(R2).toVector(), std::vector<uint32_t>{OT2});
+}
+
+TEST(CutShortcutTest, MixedReturnSourcesStaySound) {
+  // A cut-load return variable that is also assigned a fresh default:
+  // [RelayEdge] must relay the non-load in-edge to every call site.
+  auto P = parseOrDie(R"(
+class Box {
+  field f: Object;
+  method set(o: Object): void {
+    this.f = o;
+  }
+  method getOrDefault(): Object {
+    var r: Object;
+    var d: Object;
+    r = this.f;
+    if ? {
+      d = new Object;
+      r = d;
+    }
+    return r;
+  }
+}
+class Main {
+  static method main(): void {
+    var b1: Box;
+    var b2: Box;
+    var o1: Object;
+    var o2: Object;
+    var r1: Object;
+    var r2: Object;
+    b1 = new Box;
+    b2 = new Box;
+    o1 = new Object;
+    o2 = new Object;
+    call b1.set(o1);
+    call b2.set(o2);
+    r1 = call b1.getOrDefault();
+    r2 = call b2.getOrDefault();
+  }
+}
+)");
+  PTAResult R = solveCSC(*P);
+  MethodId Main = findMethod(*P, "Main", "main");
+  MethodId GetOrDefault = findMethod(*P, "Box", "getOrDefault");
+  ObjId O1 = allocOf(*P, findVar(*P, Main, "o1"));
+  ObjId O2 = allocOf(*P, findVar(*P, Main, "o2"));
+  ObjId ODef = allocOf(*P, findVar(*P, GetOrDefault, "d"));
+  VarId R1 = findVar(*P, Main, "r1");
+  VarId R2 = findVar(*P, Main, "r2");
+  // Soundness: both the stored object and the default must be seen.
+  EXPECT_TRUE(R.pt(R1).contains(O1));
+  EXPECT_TRUE(R.pt(R1).contains(ODef));
+  EXPECT_TRUE(R.pt(R2).contains(O2));
+  EXPECT_TRUE(R.pt(R2).contains(ODef));
+  // Precision: the load part stays separated per box.
+  EXPECT_FALSE(R.pt(R1).contains(O2));
+  EXPECT_FALSE(R.pt(R2).contains(O1));
+}
+
+//===----------------------------------------------------------------------===//
+// Figure 4: container access pattern
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+const char *figure4Source() {
+  return R"(
+class Main {
+  static method main(): void {
+    var l1: ArrayList;
+    var l2: ArrayList;
+    var a: Object;
+    var b: Object;
+    var x: Object;
+    var y: Object;
+    var it1: Iterator;
+    var it2: Iterator;
+    var r1: Object;
+    var r2: Object;
+    l1 = new ArrayList;
+    dcall l1.ArrayList.init();
+    a = new Object;
+    call l1.add(a);
+    x = call l1.get();
+    l2 = new ArrayList;
+    dcall l2.ArrayList.init();
+    b = new Object;
+    call l2.add(b);
+    y = call l2.get();
+    it1 = call l1.iterator();
+    r1 = call it1.next();
+    it2 = call l2.iterator();
+    r2 = call it2.next();
+  }
+}
+)";
+}
+
+} // namespace
+
+TEST(CutShortcutTest, Figure4ContainersSeparated) {
+  auto P = parseWithStdlib(figure4Source());
+  PTAResult R = solveCSC(*P);
+  MethodId Main = findMethod(*P, "Main", "main");
+  ObjId OA = allocOf(*P, findVar(*P, Main, "a"));
+  ObjId OB = allocOf(*P, findVar(*P, Main, "b"));
+  VarId X = findVar(*P, Main, "x");
+  VarId Y = findVar(*P, Main, "y");
+  EXPECT_EQ(R.pt(X).toVector(), std::vector<uint32_t>{OA});
+  EXPECT_EQ(R.pt(Y).toVector(), std::vector<uint32_t>{OB});
+}
+
+TEST(CutShortcutTest, Figure4IteratorsHostDependent) {
+  auto P = parseWithStdlib(figure4Source());
+  PTAResult R = solveCSC(*P);
+  MethodId Main = findMethod(*P, "Main", "main");
+  ObjId OA = allocOf(*P, findVar(*P, Main, "a"));
+  ObjId OB = allocOf(*P, findVar(*P, Main, "b"));
+  VarId R1 = findVar(*P, Main, "r1");
+  VarId R2 = findVar(*P, Main, "r2");
+  // §3.3.2: iterators separate per host even though the iterator objects
+  // themselves are merged abstract objects.
+  EXPECT_EQ(R.pt(R1).toVector(), std::vector<uint32_t>{OA});
+  EXPECT_EQ(R.pt(R2).toVector(), std::vector<uint32_t>{OB});
+}
+
+TEST(CutShortcutTest, Figure4NoLessPreciseThanCI) {
+  auto P = parseWithStdlib(figure4Source());
+  PTAResult CSC = solveCSC(*P);
+  PTAResult CI = solveCI(*P);
+  expectNoLessPreciseThanCI(*P, CSC, CI);
+}
+
+TEST(CutShortcutTest, AliasedContainersShareElements) {
+  // l2 aliases l1: adding through one alias must be visible through the
+  // other (ptH is computed with the pointer analysis, §3.3.2 end).
+  auto P = parseWithStdlib(R"(
+class Main {
+  static method main(): void {
+    var l1: ArrayList;
+    var l2: ArrayList;
+    var a: Object;
+    var x: Object;
+    l1 = new ArrayList;
+    dcall l1.ArrayList.init();
+    l2 = l1;
+    a = new Object;
+    call l2.add(a);
+    x = call l1.get();
+  }
+}
+)");
+  PTAResult R = solveCSC(*P);
+  MethodId Main = findMethod(*P, "Main", "main");
+  VarId X = findVar(*P, Main, "x");
+  ObjId OA = allocOf(*P, findVar(*P, Main, "a"));
+  EXPECT_TRUE(R.pt(X).contains(OA)) << "aliasing lost: unsound";
+}
+
+TEST(CutShortcutTest, ContainerInFieldKeepsSoundness) {
+  // The container flows through the heap; hosts must follow via
+  // [PropHost] over load/store edges.
+  auto P = parseWithStdlib(R"(
+class Holder {
+  field list: ArrayList;
+  method setList(l: ArrayList): void {
+    this.list = l;
+  }
+  method getList(): ArrayList {
+    var r: ArrayList;
+    r = this.list;
+    return r;
+  }
+}
+class Main {
+  static method main(): void {
+    var h: Holder;
+    var l: ArrayList;
+    var l2: ArrayList;
+    var a: Object;
+    var x: Object;
+    h = new Holder;
+    l = new ArrayList;
+    dcall l.ArrayList.init();
+    call h.setList(l);
+    a = new Object;
+    call l.add(a);
+    l2 = call h.getList();
+    x = call l2.get();
+  }
+}
+)");
+  PTAResult R = solveCSC(*P);
+  MethodId Main = findMethod(*P, "Main", "main");
+  VarId X = findVar(*P, Main, "x");
+  ObjId OA = allocOf(*P, findVar(*P, Main, "a"));
+  EXPECT_TRUE(R.pt(X).contains(OA)) << "heap-borne host lost: unsound";
+}
+
+TEST(CutShortcutTest, MapKeysAndValuesSeparatedByCategory) {
+  auto P = parseWithStdlib(R"(
+class Main {
+  static method main(): void {
+    var m: HashMap;
+    var k: Object;
+    var v: Object;
+    var gv: Object;
+    var ks: Collection;
+    var ki: Iterator;
+    var gk: Object;
+    m = new HashMap;
+    dcall m.HashMap.init();
+    k = new Object;
+    v = new Object;
+    call m.put(k, v);
+    gv = call m.get(k);
+    ks = call m.keySet();
+    ki = call ks.iterator();
+    gk = call ki.next();
+  }
+}
+)");
+  PTAResult R = solveCSC(*P);
+  MethodId Main = findMethod(*P, "Main", "main");
+  ObjId OK = allocOf(*P, findVar(*P, Main, "k"));
+  ObjId OV = allocOf(*P, findVar(*P, Main, "v"));
+  VarId GV = findVar(*P, Main, "gv");
+  VarId GK = findVar(*P, Main, "gk");
+  // map.get must see only values; keySet iteration only keys.
+  EXPECT_EQ(R.pt(GV).toVector(), std::vector<uint32_t>{OV});
+  EXPECT_EQ(R.pt(GK).toVector(), std::vector<uint32_t>{OK});
+}
+
+TEST(CutShortcutTest, TwoMapsSeparated) {
+  auto P = parseWithStdlib(R"(
+class Main {
+  static method main(): void {
+    var m1: HashMap;
+    var m2: HashMap;
+    var k: Object;
+    var v1: Object;
+    var v2: Object;
+    var g1: Object;
+    var g2: Object;
+    m1 = new HashMap;
+    dcall m1.HashMap.init();
+    m2 = new HashMap;
+    dcall m2.HashMap.init();
+    k = new Object;
+    v1 = new Object;
+    v2 = new Object;
+    call m1.put(k, v1);
+    call m2.put(k, v2);
+    g1 = call m1.get(k);
+    g2 = call m2.get(k);
+  }
+}
+)");
+  PTAResult R = solveCSC(*P);
+  MethodId Main = findMethod(*P, "Main", "main");
+  ObjId OV1 = allocOf(*P, findVar(*P, Main, "v1"));
+  ObjId OV2 = allocOf(*P, findVar(*P, Main, "v2"));
+  VarId G1 = findVar(*P, Main, "g1");
+  VarId G2 = findVar(*P, Main, "g2");
+  EXPECT_EQ(R.pt(G1).toVector(), std::vector<uint32_t>{OV1});
+  EXPECT_EQ(R.pt(G2).toVector(), std::vector<uint32_t>{OV2});
+}
+
+//===----------------------------------------------------------------------===//
+// Figure 5: local flow pattern
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+const char *figure5Source() {
+  return R"(
+class A { }
+class Util {
+  static method select(p1: A, p2: A): A {
+    var r: A;
+    if ? {
+      r = p1;
+    } else {
+      r = p2;
+    }
+    return r;
+  }
+}
+class Main {
+  static method main(): void {
+    var a1: A;
+    var a2: A;
+    var a3: A;
+    var a4: A;
+    var r1: A;
+    var r2: A;
+    a1 = new A;
+    a2 = new A;
+    r1 = scall Util.select(a1, a2);
+    a3 = new A;
+    a4 = new A;
+    r2 = scall Util.select(a3, a4);
+  }
+}
+)";
+}
+
+} // namespace
+
+TEST(CutShortcutTest, Figure5LocalFlowSeparated) {
+  auto P = parseOrDie(figure5Source());
+  PTAResult R = solveCSC(*P);
+  MethodId Main = findMethod(*P, "Main", "main");
+  ObjId O10 = allocOf(*P, findVar(*P, Main, "a1"));
+  ObjId O11 = allocOf(*P, findVar(*P, Main, "a2"));
+  ObjId O14 = allocOf(*P, findVar(*P, Main, "a3"));
+  ObjId O15 = allocOf(*P, findVar(*P, Main, "a4"));
+  VarId R1 = findVar(*P, Main, "r1");
+  VarId R2 = findVar(*P, Main, "r2");
+  EXPECT_EQ(R.pt(R1).toVector(), (std::vector<uint32_t>{O10, O11}));
+  EXPECT_EQ(R.pt(R2).toVector(), (std::vector<uint32_t>{O14, O15}));
+}
+
+TEST(CutShortcutTest, Figure5CIBaselineMerges) {
+  auto P = parseOrDie(figure5Source());
+  PTAResult R = solveCI(*P);
+  MethodId Main = findMethod(*P, "Main", "main");
+  VarId R1 = findVar(*P, Main, "r1");
+  EXPECT_EQ(R.pt(R1).size(), 4u); // All four objects merge.
+}
+
+TEST(CutShortcutTest, LocalFlowThroughAssignmentChains) {
+  auto P = parseOrDie(R"(
+class A { }
+class Util {
+  static method relay(p: A): A {
+    var x: A;
+    var y: A;
+    x = p;
+    y = x;
+    return y;
+  }
+}
+class Main {
+  static method main(): void {
+    var a1: A;
+    var a2: A;
+    var r1: A;
+    var r2: A;
+    a1 = new A;
+    a2 = new A;
+    r1 = scall Util.relay(a1);
+    r2 = scall Util.relay(a2);
+  }
+}
+)");
+  PTAResult R = solveCSC(*P);
+  MethodId Main = findMethod(*P, "Main", "main");
+  VarId R1 = findVar(*P, Main, "r1");
+  VarId R2 = findVar(*P, Main, "r2");
+  EXPECT_EQ(R.pt(R1).toVector(),
+            std::vector<uint32_t>{allocOf(*P, findVar(*P, Main, "a1"))});
+  EXPECT_EQ(R.pt(R2).toVector(),
+            std::vector<uint32_t>{allocOf(*P, findVar(*P, Main, "a2"))});
+}
+
+TEST(CutShortcutTest, LocalFlowReturnsThis) {
+  // Fluent interfaces: `return this` qualifies with k = 0 (the receiver).
+  auto P = parseOrDie(R"(
+class Builder {
+  method step(): Builder {
+    return this;
+  }
+}
+class Main {
+  static method main(): void {
+    var b1: Builder;
+    var b2: Builder;
+    var r1: Builder;
+    var r2: Builder;
+    b1 = new Builder;
+    b2 = new Builder;
+    r1 = call b1.step();
+    r2 = call b2.step();
+  }
+}
+)");
+  PTAResult R = solveCSC(*P);
+  MethodId Main = findMethod(*P, "Main", "main");
+  VarId R1 = findVar(*P, Main, "r1");
+  VarId R2 = findVar(*P, Main, "r2");
+  EXPECT_EQ(R.pt(R1).toVector(),
+            std::vector<uint32_t>{allocOf(*P, findVar(*P, Main, "b1"))});
+  EXPECT_EQ(R.pt(R2).toVector(),
+            std::vector<uint32_t>{allocOf(*P, findVar(*P, Main, "b2"))});
+}
+
+TEST(CutShortcutTest, LocalFlowRejectsMixedSources) {
+  // r is fed by a parameter AND an allocation: the pattern must not fire
+  // (the local-flow rule requires all defs to be local assignments).
+  auto P = parseOrDie(R"(
+class A { }
+class Util {
+  static method maybeFresh(p: A): A {
+    var r: A;
+    r = p;
+    if ? {
+      r = new A;
+    }
+    return r;
+  }
+}
+class Main {
+  static method main(): void {
+    var a1: A;
+    var r1: A;
+    a1 = new A;
+    r1 = scall Util.maybeFresh(a1);
+  }
+}
+)");
+  PTAResult CSC = solveCSC(*P);
+  PTAResult CI = solveCI(*P);
+  MethodId Main = findMethod(*P, "Main", "main");
+  VarId R1 = findVar(*P, Main, "r1");
+  // Both objects must be present (identical to CI here).
+  EXPECT_EQ(CSC.pt(R1).size(), 2u);
+  EXPECT_EQ(CSC.pt(R1).toVector(), CI.pt(R1).toVector());
+}
+
+TEST(CutShortcutTest, LocalFlowRedefinedParamNotCut) {
+  // A parameter that is re-assigned inside the method must disqualify the
+  // pattern: its value is a mix of incoming arguments and redefinitions.
+  auto P = parseOrDie(R"(
+class A { }
+class Util {
+  static method tricky(p: A): A {
+    if ? {
+      p = new A;
+    }
+    return p;
+  }
+}
+class Main {
+  static method main(): void {
+    var a1: A;
+    var r1: A;
+    a1 = new A;
+    r1 = scall Util.tricky(a1);
+  }
+}
+)");
+  PTAResult R = solveCSC(*P);
+  MethodId Main = findMethod(*P, "Main", "main");
+  VarId R1 = findVar(*P, Main, "r1");
+  EXPECT_EQ(R.pt(R1).size(), 2u) << "must keep both arg and fresh object";
+}
+
+//===----------------------------------------------------------------------===//
+// Cross-cutting properties
+//===----------------------------------------------------------------------===//
+
+TEST(CutShortcutTest, AllPatternsTogetherNoLessPreciseThanCI) {
+  for (const char *Src :
+       {figure1Source(), figure3Source(), figure5Source()}) {
+    auto P = parseOrDie(Src);
+    PTAResult CSC = solveCSC(*P);
+    PTAResult CI = solveCI(*P);
+    expectNoLessPreciseThanCI(*P, CSC, CI);
+  }
+}
+
+TEST(CutShortcutTest, DoopModeOmitsLoadHandling) {
+  // The paper's Doop implementation cannot express [CutPropLoad];
+  // Cut-Shortcut must still be sound and keep the store-side precision.
+  auto P = parseOrDie(figure1Source());
+  CutShortcutOptions DoopOpts;
+  DoopOpts.FieldLoad = false;
+  PTAResult R = solveCSC(*P, DoopOpts);
+  MethodId Main = findMethod(*P, "Main", "main");
+  ObjId O15 = allocOf(*P, findVar(*P, Main, "c1"));
+  ObjId O16 = allocOf(*P, findVar(*P, Main, "item1"));
+  FieldId ItemF = P->resolveField(P->typeByName("Carton"), "item");
+  EXPECT_EQ(R.ptField(O15, ItemF).toVector(), std::vector<uint32_t>{O16});
+}
+
+TEST(CutShortcutTest, StringBuilderFluentChain) {
+  // StringBuilder.append returns `this` — the stdlib exercises the local
+  // flow pattern on user code.
+  auto P = parseWithStdlib(R"(
+class Main {
+  static method main(): void {
+    var sb1: StringBuilder;
+    var sb2: StringBuilder;
+    var s: String;
+    var r1: StringBuilder;
+    var r2: StringBuilder;
+    sb1 = new StringBuilder;
+    sb2 = new StringBuilder;
+    s = new String;
+    r1 = call sb1.append(s);
+    r2 = call sb2.append(s);
+  }
+}
+)");
+  PTAResult R = solveCSC(*P);
+  MethodId Main = findMethod(*P, "Main", "main");
+  VarId R1 = findVar(*P, Main, "r1");
+  VarId R2 = findVar(*P, Main, "r2");
+  EXPECT_EQ(R.pt(R1).toVector(),
+            std::vector<uint32_t>{allocOf(*P, findVar(*P, Main, "sb1"))});
+  EXPECT_EQ(R.pt(R2).toVector(),
+            std::vector<uint32_t>{allocOf(*P, findVar(*P, Main, "sb2"))});
+}

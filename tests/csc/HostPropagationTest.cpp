@@ -1,0 +1,202 @@
+//===- HostPropagationTest.cpp - [PropHost] rule specifics ----------------===//
+//
+// Part of the Cut-Shortcut pointer analysis reproduction.
+//
+// Fine-grained checks of the pointer-host map propagation (Fig. 10):
+// hosts flow along ordinary PFG edges but are NOT propagated along the
+// return edges of Transfer methods — the rule's exclusion that keeps
+// iterators of different containers apart even though the iterator
+// objects themselves are one merged abstraction.
+//
+//===----------------------------------------------------------------------===//
+
+#include "csc/CutShortcutPlugin.h"
+#include "interp/Interpreter.h"
+#include "ir/Printer.h"
+#include "pta/Solver.h"
+#include "stdlib/ContainerSpec.h"
+#include "workload/Workload.h"
+
+#include "../TestUtil.h"
+
+#include <gtest/gtest.h>
+
+using namespace csc;
+using namespace csc::test;
+
+TEST(HostPropagationTest, TransferReturnEdgeExcluded) {
+  // Two lists, two iterators. Without the [PropHost] exclusion, the
+  // merged iterator allocation inside ArrayList.iterator() would carry
+  // BOTH hosts to BOTH iterator variables, merging the elements again.
+  auto P = parseWithStdlib(R"(
+class Main {
+  static method main(): void {
+    var l1: ArrayList;
+    var l2: ArrayList;
+    var a: Object;
+    var b: Object;
+    var it1: Iterator;
+    var it2: Iterator;
+    l1 = new ArrayList;
+    dcall l1.ArrayList.init();
+    l2 = new ArrayList;
+    dcall l2.ArrayList.init();
+    a = new Object;
+    b = new Object;
+    call l1.add(a);
+    call l2.add(b);
+    it1 = call l1.iterator();
+    it2 = call l2.iterator();
+  }
+}
+)");
+  ContainerSpec Spec = ContainerSpec::forProgram(*P);
+  CutShortcutPlugin Plugin(*P, Spec);
+  Solver S(*P, {});
+  S.addPlugin(&Plugin);
+  S.solve();
+  MethodId Main = findMethod(*P, "Main", "main");
+  ObjId L1 = allocOf(*P, findVar(*P, Main, "l1"));
+  ObjId L2 = allocOf(*P, findVar(*P, Main, "l2"));
+  PtrId It1 = S.varPtrCI(findVar(*P, Main, "it1"));
+  PtrId It2 = S.varPtrCI(findVar(*P, Main, "it2"));
+  // Each iterator carries exactly its own list's host.
+  EXPECT_TRUE(Plugin.container()->hostsOf(It1).contains(L1));
+  EXPECT_FALSE(Plugin.container()->hostsOf(It1).contains(L2));
+  EXPECT_TRUE(Plugin.container()->hostsOf(It2).contains(L2));
+  EXPECT_FALSE(Plugin.container()->hostsOf(It2).contains(L1));
+}
+
+TEST(HostPropagationTest, HostsFlowThroughLocalAssignments) {
+  auto P = parseWithStdlib(R"(
+class Main {
+  static method main(): void {
+    var l: ArrayList;
+    var alias: ArrayList;
+    var a: Object;
+    var x: Object;
+    l = new ArrayList;
+    dcall l.ArrayList.init();
+    alias = l;
+    a = new Object;
+    call alias.add(a);
+    x = call alias.get();
+  }
+}
+)");
+  ContainerSpec Spec = ContainerSpec::forProgram(*P);
+  CutShortcutPlugin Plugin(*P, Spec);
+  Solver S(*P, {});
+  S.addPlugin(&Plugin);
+  PTAResult R = S.solve();
+  MethodId Main = findMethod(*P, "Main", "main");
+  ObjId L = allocOf(*P, findVar(*P, Main, "l"));
+  PtrId Alias = S.varPtrCI(findVar(*P, Main, "alias"));
+  EXPECT_TRUE(Plugin.container()->hostsOf(Alias).contains(L));
+  VarId X = findVar(*P, Main, "x");
+  EXPECT_TRUE(R.pt(X).contains(allocOf(*P, findVar(*P, Main, "a"))));
+}
+
+TEST(HostPropagationTest, IteratorPassedAcrossMethods) {
+  // The iterator travels through a helper method; hosts must follow via
+  // parameter and return edges (which are ordinary PFG edges).
+  auto P = parseWithStdlib(R"(
+class Util {
+  static method consume(it: Iterator): Object {
+    var r: Object;
+    r = call it.next();
+    return r;
+  }
+}
+class Main {
+  static method main(): void {
+    var l: ArrayList;
+    var a: Object;
+    var it: Iterator;
+    var x: Object;
+    l = new ArrayList;
+    dcall l.ArrayList.init();
+    a = new Object;
+    call l.add(a);
+    it = call l.iterator();
+    x = scall Util.consume(it);
+  }
+}
+)");
+  ContainerSpec Spec = ContainerSpec::forProgram(*P);
+  CutShortcutPlugin Plugin(*P, Spec);
+  Solver S(*P, {});
+  S.addPlugin(&Plugin);
+  PTAResult R = S.solve();
+  MethodId Main = findMethod(*P, "Main", "main");
+  VarId X = findVar(*P, Main, "x");
+  EXPECT_TRUE(R.pt(X).contains(allocOf(*P, findVar(*P, Main, "a"))))
+      << "host must follow the iterator into the helper";
+}
+
+TEST(HostPropagationTest, EmptyContainerRetrievalIsEmpty) {
+  auto P = parseWithStdlib(R"(
+class Main {
+  static method main(): void {
+    var l: ArrayList;
+    var x: Object;
+    l = new ArrayList;
+    dcall l.ArrayList.init();
+    x = call l.get();
+  }
+}
+)");
+  ContainerSpec Spec = ContainerSpec::forProgram(*P);
+  CutShortcutPlugin Plugin(*P, Spec);
+  Solver S(*P, {});
+  S.addPlugin(&Plugin);
+  PTAResult R = S.solve();
+  MethodId Main = findMethod(*P, "Main", "main");
+  VarId X = findVar(*P, Main, "x");
+  EXPECT_TRUE(R.pt(X).empty()) << "nothing was ever added";
+}
+
+TEST(HostPropagationTest, PrinterRoundTripsWorkloadWithStdlib) {
+  // Full-scale printer/parser round trip: stdlib + a generated workload.
+  WorkloadConfig C;
+  C.Name = "roundtrip";
+  C.Seed = 13;
+  C.NumScenarios = 3;
+  C.ActionsPerScenario = 6;
+  std::vector<std::string> Diags;
+  auto P1 = buildWorkloadProgram(C, Diags);
+  ASSERT_NE(P1, nullptr);
+  std::string Printed = printProgram(*P1);
+  Program P2;
+  std::vector<std::string> Diags2;
+  ASSERT_TRUE(parseProgram(P2, {{"rt.jir", Printed}}, Diags2))
+      << (Diags2.empty() ? "" : Diags2[0]);
+  EXPECT_EQ(P1->numTypes(), P2.numTypes());
+  EXPECT_EQ(P1->numMethods(), P2.numMethods());
+  EXPECT_EQ(P1->numStmts(), P2.numStmts());
+  EXPECT_EQ(Printed, printProgram(P2));
+  // The round-tripped program analyzes identically (same CI stats).
+  Solver S1(*P1, {}), S2(P2, {});
+  PTAResult R1 = S1.solve();
+  PTAResult R2 = S2.solve();
+  EXPECT_EQ(R1.Stats.PtsInsertions, R2.Stats.PtsInsertions);
+  EXPECT_EQ(R1.numCallEdgesCI(), R2.numCallEdgesCI());
+}
+
+TEST(HostPropagationTest, InterpreterIsDeterministicPerSeed) {
+  WorkloadConfig C;
+  C.Name = "det";
+  C.Seed = 21;
+  C.NumScenarios = 3;
+  C.ActionsPerScenario = 6;
+  std::vector<std::string> Diags;
+  auto P = buildWorkloadProgram(C, Diags);
+  ASSERT_NE(P, nullptr);
+  InterpOptions O;
+  O.Seed = 5;
+  DynamicFacts F1 = interpret(*P, O);
+  DynamicFacts F2 = interpret(*P, O);
+  EXPECT_EQ(F1.Steps, F2.Steps);
+  EXPECT_EQ(F1.CallEdges, F2.CallEdges);
+  EXPECT_EQ(F1.ReachedMethods, F2.ReachedMethods);
+}

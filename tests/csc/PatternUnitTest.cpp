@@ -1,0 +1,536 @@
+//===- PatternUnitTest.cpp - Pattern-level unit tests ---------------------===//
+//
+// Part of the Cut-Shortcut pointer analysis reproduction.
+//
+// White-box tests of the individual pattern components: the ⟨m,k⟩↣x masks
+// of the local flow analysis (Fig. 11), the ptH pointer-host map of the
+// container pattern (Fig. 10), and corner cases of the field access
+// pattern (Figs. 8-9).
+//
+//===----------------------------------------------------------------------===//
+
+#include "csc/CutShortcutPlugin.h"
+#include "csc/LocalFlowPattern.h"
+#include "pta/Solver.h"
+#include "stdlib/ContainerSpec.h"
+
+#include "../TestUtil.h"
+
+#include <gtest/gtest.h>
+
+using namespace csc;
+using namespace csc::test;
+
+namespace {
+
+/// Computes the local-flow mask of variable `Var` in `Cls.Mth` of `Src`.
+uint64_t maskOf(const char *Src, const char *Cls, const char *Mth,
+                const char *Var) {
+  auto P = parseOrDie(Src);
+  Solver S(*P, {});
+  CscState St;
+  St.S = &S;
+  LocalFlowPattern LF(St);
+  MethodId M = findMethod(*P, Cls, Mth);
+  VarId V = findVar(*P, M, Var);
+  return LF.paramMaskOf(M, V);
+}
+
+} // namespace
+
+TEST(LocalFlowMaskTest, DirectParamReturn) {
+  uint64_t Mask = maskOf(R"(
+class A {
+  static method id(p: Object): Object {
+    return p;
+  }
+}
+class Main { static method main(): void { } }
+)",
+                         "A", "id", "p");
+  EXPECT_EQ(Mask, 0b1u); // Static: argument slot 0.
+}
+
+TEST(LocalFlowMaskTest, ThisCountsAsSlotZero) {
+  uint64_t Mask = maskOf(R"(
+class A {
+  method self(): A {
+    return this;
+  }
+}
+class Main { static method main(): void { } }
+)",
+                         "A", "self", "this");
+  EXPECT_EQ(Mask, 0b1u);
+}
+
+TEST(LocalFlowMaskTest, BranchesUnionMasks) {
+  uint64_t Mask = maskOf(R"(
+class A {
+  static method pick(a: Object, b: Object): Object {
+    var r: Object;
+    if ? {
+      r = a;
+    } else {
+      r = b;
+    }
+    return r;
+  }
+}
+class Main { static method main(): void { } }
+)",
+                         "A", "pick", "r");
+  EXPECT_EQ(Mask, 0b11u);
+}
+
+TEST(LocalFlowMaskTest, InstanceMethodShiftsSlots) {
+  uint64_t Mask = maskOf(R"(
+class A {
+  method pick(a: Object, b: Object): Object {
+    var r: Object;
+    r = b;
+    return r;
+  }
+}
+class Main { static method main(): void { } }
+)",
+                         "A", "pick", "r");
+  EXPECT_EQ(Mask, 0b100u); // this=0, a=1, b=2.
+}
+
+TEST(LocalFlowMaskTest, ChainsPropagate) {
+  uint64_t Mask = maskOf(R"(
+class A {
+  static method relay(p: Object): Object {
+    var x: Object;
+    var y: Object;
+    x = p;
+    y = x;
+    return y;
+  }
+}
+class Main { static method main(): void { } }
+)",
+                         "A", "relay", "y");
+  EXPECT_EQ(Mask, 0b1u);
+}
+
+TEST(LocalFlowMaskTest, AllocationDefDisqualifies) {
+  uint64_t Mask = maskOf(R"(
+class A {
+  static method maybe(p: Object): Object {
+    var r: Object;
+    r = p;
+    if ? {
+      r = new Object;
+    }
+    return r;
+  }
+}
+class Main { static method main(): void { } }
+)",
+                         "A", "maybe", "r");
+  EXPECT_EQ(Mask, 0u);
+}
+
+TEST(LocalFlowMaskTest, LoadDefDisqualifies) {
+  uint64_t Mask = maskOf(R"(
+class A {
+  field f: Object;
+  static method viaField(p: A): Object {
+    var r: Object;
+    r = p.f;
+    return r;
+  }
+}
+class Main { static method main(): void { } }
+)",
+                         "A", "viaField", "r");
+  EXPECT_EQ(Mask, 0u);
+}
+
+TEST(LocalFlowMaskTest, RedefinedParamDisqualified) {
+  uint64_t Mask = maskOf(R"(
+class A {
+  static method shadow(p: Object): Object {
+    var x: Object;
+    x = new Object;
+    p = x;
+    return p;
+  }
+}
+class Main { static method main(): void { } }
+)",
+                         "A", "shadow", "p");
+  EXPECT_EQ(Mask, 0u);
+}
+
+TEST(LocalFlowMaskTest, CyclicAssignmentsWithoutParamSource) {
+  uint64_t Mask = maskOf(R"(
+class A {
+  static method cyc(p: Object): Object {
+    var x: Object;
+    var y: Object;
+    x = y;
+    y = x;
+    return y;
+  }
+}
+class Main { static method main(): void { } }
+)",
+                         "A", "cyc", "y");
+  EXPECT_EQ(Mask, 0u); // No values can ever flow; must not qualify.
+}
+
+//===----------------------------------------------------------------------===//
+// Container pattern internals: the ptH host map.
+//===----------------------------------------------------------------------===//
+
+TEST(ContainerHostsTest, IteratorInheritsHost) {
+  auto P = parseWithStdlib(R"(
+class Main {
+  static method main(): void {
+    var l: ArrayList;
+    var it: Iterator;
+    var o: Object;
+    l = new ArrayList;
+    dcall l.ArrayList.init();
+    o = new Object;
+    call l.add(o);
+    it = call l.iterator();
+  }
+}
+)");
+  ContainerSpec Spec = ContainerSpec::forProgram(*P);
+  CutShortcutPlugin Plugin(*P, Spec);
+  Solver S(*P, {});
+  S.addPlugin(&Plugin);
+  S.solve();
+
+  MethodId Main = findMethod(*P, "Main", "main");
+  VarId L = findVar(*P, Main, "l");
+  VarId It = findVar(*P, Main, "it");
+  ObjId ListObj = allocOf(*P, L);
+  ASSERT_NE(Plugin.container(), nullptr);
+  // [ColHost]: the list is its own host; [TransferHost]: the iterator
+  // variable inherits it.
+  EXPECT_TRUE(Plugin.container()->hostsOf(S.varPtrCI(L)).contains(ListObj));
+  EXPECT_TRUE(
+      Plugin.container()->hostsOf(S.varPtrCI(It)).contains(ListObj));
+}
+
+TEST(ContainerHostsTest, MapViewChainsHosts) {
+  auto P = parseWithStdlib(R"(
+class Main {
+  static method main(): void {
+    var m: HashMap;
+    var ks: Collection;
+    var ki: Iterator;
+    var k: Object;
+    var v: Object;
+    m = new HashMap;
+    dcall m.HashMap.init();
+    k = new Object;
+    v = new Object;
+    call m.put(k, v);
+    ks = call m.keySet();
+    ki = call ks.iterator();
+  }
+}
+)");
+  ContainerSpec Spec = ContainerSpec::forProgram(*P);
+  CutShortcutPlugin Plugin(*P, Spec);
+  Solver S(*P, {});
+  S.addPlugin(&Plugin);
+  S.solve();
+
+  MethodId Main = findMethod(*P, "Main", "main");
+  ObjId MapObj = allocOf(*P, findVar(*P, Main, "m"));
+  VarId KS = findVar(*P, Main, "ks");
+  VarId KI = findVar(*P, Main, "ki");
+  // The view inherits the map host, and the view's iterator inherits it
+  // transitively (keySet and KeySetView.iterator are both Transfers).
+  EXPECT_TRUE(
+      Plugin.container()->hostsOf(S.varPtrCI(KS)).contains(MapObj));
+  EXPECT_TRUE(
+      Plugin.container()->hostsOf(S.varPtrCI(KI)).contains(MapObj));
+}
+
+//===----------------------------------------------------------------------===//
+// Field access pattern corner cases.
+//===----------------------------------------------------------------------===//
+
+TEST(FieldPatternTest, SelfStoreIsPreciseAndSound) {
+  // x.f = x with x a parameter: base and source coincide.
+  auto P = parseOrDie(R"(
+class Node {
+  field self: Node;
+  method tie(n: Node): void {
+    n.self = n;
+  }
+}
+class Main {
+  static method main(): void {
+    var a: Node;
+    var b: Node;
+    var h: Node;
+    var r: Node;
+    h = new Node;
+    a = new Node;
+    b = new Node;
+    call h.tie(a);
+    call h.tie(b);
+    r = a.self;
+  }
+}
+)");
+  ContainerSpec Spec = ContainerSpec::forProgram(*P);
+  CutShortcutPlugin Plugin(*P, Spec);
+  Solver S(*P, {});
+  S.addPlugin(&Plugin);
+  PTAResult R = S.solve();
+  MethodId Main = findMethod(*P, "Main", "main");
+  ObjId OA = allocOf(*P, findVar(*P, Main, "a"));
+  VarId Rv = findVar(*P, Main, "r");
+  EXPECT_EQ(R.pt(Rv).toVector(), std::vector<uint32_t>{OA});
+}
+
+TEST(FieldPatternTest, ThreeLevelNestedStore) {
+  auto P = parseOrDie(R"(
+class T { }
+class A {
+  field f: T;
+  method l1(t: T): void {
+    call this.l2(t);
+  }
+  method l2(t: T): void {
+    call this.l3(t);
+  }
+  method l3(t: T): void {
+    this.f = t;
+  }
+}
+class Main {
+  static method main(): void {
+    var a1: A;
+    var a2: A;
+    var t1: T;
+    var t2: T;
+    a1 = new A;
+    a2 = new A;
+    t1 = new T;
+    t2 = new T;
+    call a1.l1(t1);
+    call a2.l1(t2);
+  }
+}
+)");
+  ContainerSpec Spec = ContainerSpec::forProgram(*P);
+  CutShortcutPlugin Plugin(*P, Spec);
+  Solver S(*P, {});
+  S.addPlugin(&Plugin);
+  PTAResult R = S.solve();
+  MethodId Main = findMethod(*P, "Main", "main");
+  ObjId OA1 = allocOf(*P, findVar(*P, Main, "a1"));
+  ObjId OT1 = allocOf(*P, findVar(*P, Main, "t1"));
+  FieldId F = P->resolveField(P->typeByName("A"), "f");
+  EXPECT_EQ(R.ptField(OA1, F).toVector(), std::vector<uint32_t>{OT1});
+}
+
+TEST(FieldPatternTest, ThreeLevelNestedLoad) {
+  auto P = parseOrDie(R"(
+class T { }
+class A {
+  field f: T;
+  method set(t: T): void {
+    this.f = t;
+  }
+  method g3(): T {
+    var r: T;
+    r = this.f;
+    return r;
+  }
+  method g2(): T {
+    var r: T;
+    r = call this.g3();
+    return r;
+  }
+  method g1(): T {
+    var r: T;
+    r = call this.g2();
+    return r;
+  }
+}
+class Main {
+  static method main(): void {
+    var a1: A;
+    var a2: A;
+    var t1: T;
+    var t2: T;
+    var r1: T;
+    var r2: T;
+    a1 = new A;
+    a2 = new A;
+    t1 = new T;
+    t2 = new T;
+    call a1.set(t1);
+    call a2.set(t2);
+    r1 = call a1.g1();
+    r2 = call a2.g1();
+  }
+}
+)");
+  ContainerSpec Spec = ContainerSpec::forProgram(*P);
+  CutShortcutPlugin Plugin(*P, Spec);
+  Solver S(*P, {});
+  S.addPlugin(&Plugin);
+  PTAResult R = S.solve();
+  MethodId Main = findMethod(*P, "Main", "main");
+  ObjId OT1 = allocOf(*P, findVar(*P, Main, "t1"));
+  ObjId OT2 = allocOf(*P, findVar(*P, Main, "t2"));
+  VarId R1 = findVar(*P, Main, "r1");
+  VarId R2 = findVar(*P, Main, "r2");
+  EXPECT_EQ(R.pt(R1).toVector(), std::vector<uint32_t>{OT1});
+  EXPECT_EQ(R.pt(R2).toVector(), std::vector<uint32_t>{OT2});
+}
+
+TEST(FieldPatternTest, RecursiveAccessorTerminates) {
+  // Pass-through recursion must not loop the tempStore propagation.
+  auto P = parseOrDie(R"(
+class T { }
+class A {
+  field f: T;
+  method store(t: T): void {
+    call this.store(t);
+    this.f = t;
+  }
+}
+class Main {
+  static method main(): void {
+    var a: A;
+    var t: T;
+    a = new A;
+    t = new T;
+    call a.store(t);
+  }
+}
+)");
+  ContainerSpec Spec = ContainerSpec::forProgram(*P);
+  CutShortcutPlugin Plugin(*P, Spec);
+  Solver S(*P, {});
+  S.addPlugin(&Plugin);
+  PTAResult R = S.solve();
+  MethodId Main = findMethod(*P, "Main", "main");
+  ObjId OA = allocOf(*P, findVar(*P, Main, "a"));
+  ObjId OT = allocOf(*P, findVar(*P, Main, "t"));
+  FieldId F = P->resolveField(P->typeByName("A"), "f");
+  EXPECT_TRUE(R.ptField(OA, F).contains(OT)) << "recursion lost the store";
+}
+
+TEST(FieldPatternTest, MutuallyRecursiveWrappersStaySound) {
+  // Two pass-through wrappers calling each other: the deferred-return
+  // dependency chain is cyclic and is resolved by the fixpoint flush.
+  // Soundness: the fallback allocation must reach the callers.
+  auto P = parseOrDie(R"(
+class T { }
+class A {
+  method pingPong(): T {
+    var r: T;
+    r = call this.pong();
+    return r;
+  }
+  method pong(): T {
+    var r: T;
+    if ? {
+      r = call this.pingPong();
+    } else {
+      r = new T;
+    }
+    return r;
+  }
+}
+class Main {
+  static method main(): void {
+    var a: A;
+    var r: T;
+    a = new A;
+    r = call a.pingPong();
+  }
+}
+)");
+  ContainerSpec Spec = ContainerSpec::forProgram(*P);
+  CutShortcutPlugin Plugin(*P, Spec);
+  Solver S(*P, {});
+  S.addPlugin(&Plugin);
+  PTAResult R = S.solve();
+  MethodId Main = findMethod(*P, "Main", "main");
+  MethodId Pong = findMethod(*P, "A", "pong");
+  VarId Rv = findVar(*P, Main, "r");
+  ObjId Fresh = allocOf(*P, findVar(*P, Pong, "r"));
+  EXPECT_TRUE(R.pt(Rv).contains(Fresh))
+      << "cyclic deferral swallowed the return value";
+}
+
+TEST(FieldPatternTest, PureRecursiveWrapperTerminates) {
+  // A wrapper that only ever returns its own recursion can never produce
+  // a value; the analysis must terminate with an empty result.
+  auto P = parseOrDie(R"(
+class T { }
+class A {
+  method spin(): T {
+    var r: T;
+    r = call this.spin();
+    return r;
+  }
+}
+class Main {
+  static method main(): void {
+    var a: A;
+    var r: T;
+    a = new A;
+    r = call a.spin();
+  }
+}
+)");
+  ContainerSpec Spec = ContainerSpec::forProgram(*P);
+  CutShortcutPlugin Plugin(*P, Spec);
+  Solver S(*P, {});
+  S.addPlugin(&Plugin);
+  PTAResult R = S.solve();
+  MethodId Main = findMethod(*P, "Main", "main");
+  VarId Rv = findVar(*P, Main, "r");
+  EXPECT_TRUE(R.pt(Rv).empty());
+}
+
+TEST(FieldPatternTest, ArgumentArityMismatchIsSound) {
+  // Calling a setter through a dispatch target with fewer arguments than
+  // parameters must not crash nor lose soundness.
+  auto P = parseOrDie(R"(
+class T { }
+class A {
+  field f: T;
+  method set(t: T): void {
+    this.f = t;
+  }
+}
+class Main {
+  static method main(): void {
+    var a: A;
+    var t: T;
+    a = new A;
+    t = new T;
+    call a.set(t);
+  }
+}
+)");
+  ContainerSpec Spec = ContainerSpec::forProgram(*P);
+  CutShortcutPlugin Plugin(*P, Spec);
+  Solver S(*P, {});
+  S.addPlugin(&Plugin);
+  PTAResult R = S.solve();
+  EXPECT_GE(Plugin.stats().CutStores, 1u);
+  MethodId Main = findMethod(*P, "Main", "main");
+  FieldId F = P->resolveField(P->typeByName("A"), "f");
+  EXPECT_EQ(
+      R.ptField(allocOf(*P, findVar(*P, Main, "a")), F).size(), 1u);
+}

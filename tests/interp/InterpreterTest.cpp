@@ -1,0 +1,207 @@
+//===- InterpreterTest.cpp - Concrete interpreter tests -------------------===//
+//
+// Part of the Cut-Shortcut pointer analysis reproduction.
+//
+//===----------------------------------------------------------------------===//
+
+#include "interp/Interpreter.h"
+
+#include "../TestUtil.h"
+
+#include <gtest/gtest.h>
+
+using namespace csc;
+using namespace csc::test;
+
+TEST(InterpreterTest, Figure1DynamicFacts) {
+  auto P = parseOrDie(figure1Source());
+  DynamicFacts F = interpret(*P);
+  MethodId Main = findMethod(*P, "Main", "main");
+  VarId Result1 = findVar(*P, Main, "result1");
+  ObjId O16 = allocOf(*P, findVar(*P, Main, "item1"));
+  ObjId O21 = allocOf(*P, findVar(*P, Main, "item2"));
+  // Concrete execution is fully precise: result1 only ever holds o16.
+  ASSERT_EQ(F.VarPointsTo.count(Result1), 1u);
+  EXPECT_EQ(F.VarPointsTo[Result1],
+            (std::unordered_set<ObjId>{O16}));
+  VarId Result2 = findVar(*P, Main, "result2");
+  EXPECT_EQ(F.VarPointsTo[Result2],
+            (std::unordered_set<ObjId>{O21}));
+  EXPECT_FALSE(F.Truncated);
+  EXPECT_EQ(F.ReachedMethods.size(), 3u);
+}
+
+TEST(InterpreterTest, RecordsCallEdges) {
+  auto P = parseOrDie(figure1Source());
+  DynamicFacts F = interpret(*P);
+  MethodId SetItem = findMethod(*P, "Carton", "setItem");
+  bool Found = false;
+  for (CallSiteId CS = 0; CS < P->numCallSites(); ++CS)
+    Found = Found || F.hasCallEdge(CS, SetItem);
+  EXPECT_TRUE(Found);
+  EXPECT_EQ(F.CallEdges.size(), 4u);
+}
+
+TEST(InterpreterTest, BranchesVaryBySeed) {
+  auto P = parseOrDie(R"(
+class A { }
+class B { }
+class Main {
+  static method main(): void {
+    var o: Object;
+    if ? {
+      o = new A;
+    } else {
+      o = new B;
+    }
+  }
+}
+)");
+  MethodId Main = findMethod(*P, "Main", "main");
+  VarId O = findVar(*P, Main, "o");
+  // Across seeds, both branches should eventually be taken.
+  std::unordered_set<ObjId> Seen;
+  for (uint64_t Seed = 1; Seed <= 16; ++Seed) {
+    InterpOptions Opts;
+    Opts.Seed = Seed;
+    DynamicFacts F = interpret(*P, Opts);
+    for (ObjId A : F.VarPointsTo[O])
+      Seen.insert(A);
+  }
+  EXPECT_EQ(Seen.size(), 2u);
+}
+
+TEST(InterpreterTest, FieldAndStaticFactsRecorded) {
+  auto P = parseOrDie(R"(
+class Box {
+  field f: Object;
+}
+class Reg {
+  static field g: Object;
+}
+class Main {
+  static method main(): void {
+    var b: Box;
+    var o: Object;
+    var x: Object;
+    b = new Box;
+    o = new Object;
+    b.f = o;
+    x = b.f;
+    Reg::g = o;
+    x = Reg::g;
+  }
+}
+)");
+  DynamicFacts F = interpret(*P);
+  MethodId Main = findMethod(*P, "Main", "main");
+  ObjId OB = allocOf(*P, findVar(*P, Main, "b"));
+  ObjId OO = allocOf(*P, findVar(*P, Main, "o"));
+  FieldId Fld = P->resolveField(P->typeByName("Box"), "f");
+  uint64_t Key = (static_cast<uint64_t>(OB) << 32) | Fld;
+  ASSERT_EQ(F.FieldPointsTo.count(Key), 1u);
+  EXPECT_TRUE(F.FieldPointsTo[Key].count(OO));
+  FieldId G = P->resolveField(P->typeByName("Reg"), "g");
+  EXPECT_TRUE(F.StaticPointsTo[G].count(OO));
+}
+
+TEST(InterpreterTest, FailedCastRecordedAndSkipped) {
+  auto P = parseOrDie(R"(
+class A { }
+class B { }
+class Main {
+  static method main(): void {
+    var o: Object;
+    var b: B;
+    o = new A;
+    b = (B) o;
+  }
+}
+)");
+  DynamicFacts F = interpret(*P);
+  EXPECT_EQ(F.FailedCasts.size(), 1u);
+  MethodId Main = findMethod(*P, "Main", "main");
+  VarId B = findVar(*P, Main, "b");
+  EXPECT_EQ(F.VarPointsTo.count(B), 0u) << "cast failed: no assignment";
+}
+
+TEST(InterpreterTest, NullReceiversSkipCalls) {
+  auto P = parseOrDie(R"(
+class A {
+  method m(): void { }
+}
+class Main {
+  static method main(): void {
+    var a: A;
+    if ? {
+      a = new A;
+    }
+    call a.m();
+  }
+}
+)");
+  // Seed such that the branch is skipped -> a stays null -> no crash.
+  for (uint64_t Seed = 1; Seed <= 8; ++Seed) {
+    InterpOptions Opts;
+    Opts.Seed = Seed;
+    DynamicFacts F = interpret(*P, Opts);
+    EXPECT_LE(F.ReachedMethods.size(), 2u);
+  }
+}
+
+TEST(InterpreterTest, StepBudgetTruncates) {
+  // Infinite recursion is stopped by the depth/step budgets.
+  auto P = parseOrDie(R"(
+class Loop {
+  static method spin(): void {
+    scall Loop.spin();
+  }
+}
+class Main {
+  static method main(): void {
+    scall Loop.spin();
+  }
+}
+)");
+  InterpOptions Opts;
+  Opts.MaxDepth = 50;
+  DynamicFacts F = interpret(*P, Opts);
+  EXPECT_TRUE(F.Truncated);
+}
+
+TEST(InterpreterTest, MergeAccumulatesFacts) {
+  auto P = parseOrDie(figure1Source());
+  DynamicFacts All = interpretManySeeds(*P, 4);
+  DynamicFacts One = interpret(*P);
+  EXPECT_GE(All.CallEdges.size(), One.CallEdges.size());
+  EXPECT_GE(All.Steps, One.Steps);
+}
+
+TEST(InterpreterTest, ContainersExecute) {
+  auto P = parseWithStdlib(R"(
+class Main {
+  static method main(): void {
+    var l: ArrayList;
+    var a: Object;
+    var x: Object;
+    var it: Iterator;
+    var y: Object;
+    l = new ArrayList;
+    dcall l.ArrayList.init();
+    a = new Object;
+    call l.add(a);
+    x = call l.get();
+    it = call l.iterator();
+    y = call it.next();
+  }
+}
+)");
+  DynamicFacts F = interpret(*P);
+  MethodId Main = findMethod(*P, "Main", "main");
+  VarId X = findVar(*P, Main, "x");
+  VarId Y = findVar(*P, Main, "y");
+  ObjId OA = allocOf(*P, findVar(*P, Main, "a"));
+  EXPECT_TRUE(F.VarPointsTo[X].count(OA));
+  EXPECT_TRUE(F.VarPointsTo[Y].count(OA));
+  EXPECT_FALSE(F.Truncated);
+}

@@ -1,0 +1,78 @@
+//===- GraphDumpTest.cpp - Graphviz export tests --------------------------===//
+//
+// Part of the Cut-Shortcut pointer analysis reproduction.
+//
+//===----------------------------------------------------------------------===//
+
+#include "pta/GraphDump.h"
+
+#include "csc/CutShortcutPlugin.h"
+#include "stdlib/ContainerSpec.h"
+
+#include "../TestUtil.h"
+
+#include <gtest/gtest.h>
+
+using namespace csc;
+using namespace csc::test;
+
+TEST(GraphDumpTest, PFGDotContainsNodesAndEdges) {
+  auto P = parseOrDie(figure1Source());
+  Solver S(*P, {});
+  S.solve();
+  std::string Dot = dumpPFGDot(S);
+  EXPECT_NE(Dot.find("digraph PFG"), std::string::npos);
+  EXPECT_NE(Dot.find("main.item1"), std::string::npos);
+  EXPECT_NE(Dot.find("->"), std::string::npos);
+  EXPECT_EQ(Dot.find("shortcut"), std::string::npos); // No plugin.
+}
+
+TEST(GraphDumpTest, ShortcutEdgesHighlighted) {
+  auto P = parseOrDie(figure1Source());
+  ContainerSpec Spec = ContainerSpec::forProgram(*P);
+  CutShortcutPlugin Plugin(*P, Spec);
+  Solver S(*P, {});
+  S.addPlugin(&Plugin);
+  S.solve();
+  std::string Dot = dumpPFGDot(S);
+  EXPECT_NE(Dot.find("shortcut"), std::string::npos);
+  EXPECT_NE(Dot.find("color=blue"), std::string::npos);
+}
+
+TEST(GraphDumpTest, CastEdgesDashed) {
+  auto P = parseOrDie(R"(
+class A { }
+class Main {
+  static method main(): void {
+    var o: Object;
+    var a: A;
+    o = new A;
+    a = (A) o;
+  }
+}
+)");
+  Solver S(*P, {});
+  S.solve();
+  std::string Dot = dumpPFGDot(S);
+  EXPECT_NE(Dot.find("style=dashed"), std::string::npos);
+  EXPECT_NE(Dot.find("(A)"), std::string::npos);
+}
+
+TEST(GraphDumpTest, TruncationGuard) {
+  auto P = parseOrDie(figure1Source());
+  Solver S(*P, {});
+  S.solve();
+  std::string Dot = dumpPFGDot(S, /*MaxNodes=*/1);
+  EXPECT_NE(Dot.find("truncated"), std::string::npos);
+}
+
+TEST(GraphDumpTest, CallGraphDot) {
+  auto P = parseOrDie(figure1Source());
+  Solver S(*P, {});
+  PTAResult R = S.solve();
+  std::string Dot = dumpCallGraphDot(*P, R);
+  EXPECT_NE(Dot.find("digraph CG"), std::string::npos);
+  EXPECT_NE(Dot.find("Carton.setItem/1"), std::string::npos);
+  EXPECT_NE(Dot.find("Main.main/0"), std::string::npos);
+  EXPECT_NE(Dot.find("->"), std::string::npos);
+}

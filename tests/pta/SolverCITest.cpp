@@ -1,0 +1,270 @@
+//===- SolverCITest.cpp - Context-insensitive solver tests ----------------===//
+//
+// Part of the Cut-Shortcut pointer analysis reproduction.
+//
+//===----------------------------------------------------------------------===//
+
+#include "pta/Solver.h"
+
+#include "../TestUtil.h"
+
+#include <gtest/gtest.h>
+
+using namespace csc;
+using namespace csc::test;
+
+namespace {
+
+PTAResult solveCI(const Program &P) {
+  Solver S(P, {});
+  return S.solve();
+}
+
+} // namespace
+
+TEST(SolverCITest, Figure1MergesFlows) {
+  auto P = parseOrDie(figure1Source());
+  PTAResult R = solveCI(*P);
+
+  MethodId Main = findMethod(*P, "Main", "main");
+  VarId Result1 = findVar(*P, Main, "result1");
+  VarId Result2 = findVar(*P, Main, "result2");
+  VarId Item1 = findVar(*P, Main, "item1");
+  VarId Item2 = findVar(*P, Main, "item2");
+  ObjId O16 = allocOf(*P, Item1);
+  ObjId O21 = allocOf(*P, Item2);
+
+  // CI cannot distinguish the two Cartons: both results point to both items
+  // (exactly the imprecision of Fig. 1(a)).
+  EXPECT_TRUE(R.pt(Result1).contains(O16));
+  EXPECT_TRUE(R.pt(Result1).contains(O21));
+  EXPECT_TRUE(R.pt(Result2).contains(O16));
+  EXPECT_TRUE(R.pt(Result2).contains(O21));
+  EXPECT_EQ(R.pt(Result1).size(), 2u);
+
+  // Field points-to of both cartons is merged too.
+  VarId C1 = findVar(*P, Main, "c1");
+  ObjId O15 = allocOf(*P, C1);
+  FieldId ItemF = P->resolveField(P->typeByName("Carton"), "item");
+  EXPECT_EQ(R.ptField(O15, ItemF).size(), 2u);
+}
+
+TEST(SolverCITest, Figure1Reachability) {
+  auto P = parseOrDie(figure1Source());
+  PTAResult R = solveCI(*P);
+  EXPECT_TRUE(R.isReachable(findMethod(*P, "Main", "main")));
+  EXPECT_TRUE(R.isReachable(findMethod(*P, "Carton", "setItem")));
+  EXPECT_TRUE(R.isReachable(findMethod(*P, "Carton", "getItem")));
+  EXPECT_EQ(R.numReachableCI(), 3u);
+  // Four CI call edges: two to setItem, two to getItem.
+  EXPECT_EQ(R.numCallEdgesCI(), 4u);
+}
+
+TEST(SolverCITest, VirtualDispatchPolymorphic) {
+  auto P = parseOrDie(R"(
+class A {
+  method id(o: Object): Object { return o; }
+}
+class B extends A {
+  method id(o: Object): Object {
+    var x: Object;
+    x = new Object;
+    return x;
+  }
+}
+class Main {
+  static method main(): void {
+    var a: A;
+    var o: Object;
+    var r: Object;
+    if ? {
+      a = new A;
+    } else {
+      a = new B;
+    }
+    o = new Object;
+    r = call a.id(o);
+  }
+}
+)");
+  PTAResult R = solveCI(*P);
+  MethodId Main = findMethod(*P, "Main", "main");
+  VarId Rv = findVar(*P, Main, "r");
+  // r sees o (via A.id) and B.id's fresh object.
+  EXPECT_EQ(R.pt(Rv).size(), 2u);
+  // The call site resolves to both targets.
+  MethodId AId = findMethod(*P, "A", "id");
+  MethodId BId = findMethod(*P, "B", "id");
+  bool SawA = false, SawB = false;
+  for (CallSiteId CS = 0; CS < P->numCallSites(); ++CS)
+    for (MethodId M : R.calleesOf(CS)) {
+      SawA = SawA || M == AId;
+      SawB = SawB || M == BId;
+    }
+  EXPECT_TRUE(SawA);
+  EXPECT_TRUE(SawB);
+}
+
+TEST(SolverCITest, UnreachableCodeStaysUnreachable) {
+  auto P = parseOrDie(R"(
+class Dead {
+  method never(): void { }
+}
+class Main {
+  static method main(): void {
+    var o: Object;
+    o = new Object;
+  }
+}
+)");
+  PTAResult R = solveCI(*P);
+  EXPECT_FALSE(R.isReachable(findMethod(*P, "Dead", "never")));
+  EXPECT_EQ(R.numReachableCI(), 1u);
+}
+
+TEST(SolverCITest, CastFiltersIncompatibleObjects) {
+  auto P = parseOrDie(R"(
+class A { }
+class B { }
+class Main {
+  static method main(): void {
+    var o: Object;
+    var a: A;
+    if ? {
+      o = new A;
+    } else {
+      o = new B;
+    }
+    a = (A) o;
+  }
+}
+)");
+  PTAResult R = solveCI(*P);
+  MethodId Main = findMethod(*P, "Main", "main");
+  VarId O = findVar(*P, Main, "o");
+  VarId A = findVar(*P, Main, "a");
+  EXPECT_EQ(R.pt(O).size(), 2u);
+  EXPECT_EQ(R.pt(A).size(), 1u); // Only the A object passes the cast.
+}
+
+TEST(SolverCITest, StaticFieldsFlowGlobally) {
+  auto P = parseOrDie(R"(
+class Registry {
+  static field instance: Object;
+}
+class Main {
+  static method main(): void {
+    var o: Object;
+    var r: Object;
+    o = new Object;
+    Registry::instance = o;
+    r = Registry::instance;
+  }
+}
+)");
+  PTAResult R = solveCI(*P);
+  MethodId Main = findMethod(*P, "Main", "main");
+  VarId Rv = findVar(*P, Main, "r");
+  VarId Ov = findVar(*P, Main, "o");
+  EXPECT_EQ(R.pt(Rv).size(), 1u);
+  EXPECT_TRUE(R.pt(Rv).contains(allocOf(*P, Ov)));
+}
+
+TEST(SolverCITest, ArrayFlowsThroughElements) {
+  auto P = parseOrDie(R"(
+class A { }
+class Main {
+  static method main(): void {
+    var arr: A[];
+    var a: A;
+    var r: A;
+    arr = new A[];
+    a = new A;
+    arr[*] = a;
+    r = arr[*];
+  }
+}
+)");
+  PTAResult R = solveCI(*P);
+  MethodId Main = findMethod(*P, "Main", "main");
+  VarId Rv = findVar(*P, Main, "r");
+  EXPECT_EQ(R.pt(Rv).size(), 1u);
+}
+
+TEST(SolverCITest, ArrayStoreFilterChecksElementType) {
+  auto P = parseOrDie(R"(
+class A { }
+class B { }
+class Main {
+  static method main(): void {
+    var arr: A[];
+    var o: Object;
+    var r: A;
+    arr = new A[];
+    if ? {
+      o = new A;
+    } else {
+      o = new B;
+    }
+    arr[*] = o;
+    r = arr[*];
+  }
+}
+)");
+  PTAResult R = solveCI(*P);
+  MethodId Main = findMethod(*P, "Main", "main");
+  VarId Rv = findVar(*P, Main, "r");
+  // The B object is rejected by the runtime array-store check.
+  EXPECT_EQ(R.pt(Rv).size(), 1u);
+}
+
+TEST(SolverCITest, SpecialCallBindsReceiver) {
+  auto P = parseOrDie(R"(
+class A {
+  field f: Object;
+  method init(o: Object): void {
+    this.f = o;
+  }
+}
+class Main {
+  static method main(): void {
+    var a: A;
+    var o: Object;
+    var r: Object;
+    a = new A;
+    o = new Object;
+    dcall a.A.init(o);
+    r = a.f;
+  }
+}
+)");
+  PTAResult R = solveCI(*P);
+  MethodId Main = findMethod(*P, "Main", "main");
+  VarId Rv = findVar(*P, Main, "r");
+  VarId Ov = findVar(*P, Main, "o");
+  EXPECT_TRUE(R.pt(Rv).contains(allocOf(*P, Ov)));
+}
+
+TEST(SolverCITest, WorkBudgetStopsAnalysis) {
+  auto P = parseOrDie(figure1Source());
+  SolverOptions Opts;
+  Opts.WorkBudget = 1;
+  Solver S(*P, Opts);
+  PTAResult R = S.solve();
+  EXPECT_TRUE(R.Exhausted);
+}
+
+TEST(SolverCITest, FullPropagationMatchesDelta) {
+  auto P = parseOrDie(figure1Source());
+  SolverOptions Full;
+  Full.DeltaPropagation = false;
+  PTAResult RD = solveCI(*P);
+  Solver SF(*P, Full);
+  PTAResult RF = SF.solve();
+  // Same fixpoint regardless of propagation strategy.
+  MethodId Main = findMethod(*P, "Main", "main");
+  for (VarId V : P->method(Main).Vars)
+    EXPECT_EQ(RD.pt(V).toVector(), RF.pt(V).toVector())
+        << "var " << P->var(V).Name;
+  EXPECT_EQ(RD.numCallEdgesCI(), RF.numCallEdgesCI());
+}

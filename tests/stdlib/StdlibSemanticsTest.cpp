@@ -1,0 +1,277 @@
+//===- StdlibSemanticsTest.cpp - Modelled library runtime semantics -------===//
+//
+// Part of the Cut-Shortcut pointer analysis reproduction.
+//
+// Executes the modelled containers with the interpreter and checks that
+// their runtime behaviour matches what the container spec promises
+// (Assumption 1 in action: elements flow in through Entrances and out
+// through Exits/Transfers only), and that static analysis of the same
+// programs over-approximates them.
+//
+//===----------------------------------------------------------------------===//
+
+#include "interp/Interpreter.h"
+#include "pta/Solver.h"
+#include "stdlib/ContainerSpec.h"
+
+#include "../TestUtil.h"
+
+#include <gtest/gtest.h>
+
+using namespace csc;
+using namespace csc::test;
+
+namespace {
+
+struct ContainerRoundTrip {
+  const char *Name;
+  const char *Source; ///< main storing `a` and retrieving into `x`.
+};
+
+class StdlibSemanticsTest
+    : public ::testing::TestWithParam<ContainerRoundTrip> {};
+
+} // namespace
+
+TEST_P(StdlibSemanticsTest, DynamicRoundTripAndStaticRecall) {
+  auto P = parseWithStdlib(GetParam().Source);
+  MethodId Main = findMethod(*P, "Main", "main");
+  VarId X = findVar(*P, Main, "x");
+  ObjId OA = allocOf(*P, findVar(*P, Main, "a"));
+
+  // Dynamic: the element stored must be the element retrieved.
+  DynamicFacts F = interpret(*P);
+  ASSERT_EQ(F.VarPointsTo.count(X), 1u)
+      << "retrieval produced no value at run time";
+  EXPECT_TRUE(F.VarPointsTo[X].count(OA));
+
+  // Static (CI): must over-approximate the dynamic fact.
+  Solver S(*P, {});
+  PTAResult R = S.solve();
+  EXPECT_TRUE(R.pt(X).contains(OA));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Containers, StdlibSemanticsTest,
+    ::testing::Values(
+        ContainerRoundTrip{"ArrayListGet", R"(
+class Main {
+  static method main(): void {
+    var l: ArrayList;
+    var a: Object;
+    var x: Object;
+    l = new ArrayList;
+    dcall l.ArrayList.init();
+    a = new Object;
+    call l.add(a);
+    x = call l.get();
+  }
+}
+)"},
+        ContainerRoundTrip{"ArrayListIterator", R"(
+class Main {
+  static method main(): void {
+    var l: ArrayList;
+    var a: Object;
+    var it: Iterator;
+    var x: Object;
+    l = new ArrayList;
+    dcall l.ArrayList.init();
+    a = new Object;
+    call l.add(a);
+    it = call l.iterator();
+    x = call it.next();
+  }
+}
+)"},
+        ContainerRoundTrip{"LinkedListGet", R"(
+class Main {
+  static method main(): void {
+    var l: LinkedList;
+    var a: Object;
+    var x: Object;
+    l = new LinkedList;
+    dcall l.LinkedList.init();
+    a = new Object;
+    call l.add(a);
+    x = call l.get();
+  }
+}
+)"},
+        ContainerRoundTrip{"LinkedListIterator", R"(
+class Main {
+  static method main(): void {
+    var l: LinkedList;
+    var a: Object;
+    var it: Iterator;
+    var x: Object;
+    l = new LinkedList;
+    dcall l.LinkedList.init();
+    a = new Object;
+    call l.add(a);
+    it = call l.iterator();
+    x = call it.next();
+  }
+}
+)"},
+        ContainerRoundTrip{"HashSetIterator", R"(
+class Main {
+  static method main(): void {
+    var s: HashSet;
+    var a: Object;
+    var it: Iterator;
+    var x: Object;
+    s = new HashSet;
+    dcall s.HashSet.init();
+    a = new Object;
+    call s.add(a);
+    it = call s.iterator();
+    x = call it.next();
+  }
+}
+)"},
+        ContainerRoundTrip{"HashMapGetValue", R"(
+class Main {
+  static method main(): void {
+    var m: HashMap;
+    var k: Object;
+    var a: Object;
+    var x: Object;
+    m = new HashMap;
+    dcall m.HashMap.init();
+    k = new Object;
+    a = new Object;
+    call m.put(k, a);
+    x = call m.get(k);
+  }
+}
+)"},
+        ContainerRoundTrip{"KeySetIteration", R"(
+class Main {
+  static method main(): void {
+    var m: HashMap;
+    var a: Object;
+    var v: Object;
+    var ks: Collection;
+    var it: Iterator;
+    var x: Object;
+    m = new HashMap;
+    dcall m.HashMap.init();
+    a = new Object;
+    v = new Object;
+    call m.put(a, v);
+    ks = call m.keySet();
+    it = call ks.iterator();
+    x = call it.next();
+  }
+}
+)"},
+        ContainerRoundTrip{"ValuesIteration", R"(
+class Main {
+  static method main(): void {
+    var m: HashMap;
+    var k: Object;
+    var a: Object;
+    var vs: Collection;
+    var it: Iterator;
+    var x: Object;
+    m = new HashMap;
+    dcall m.HashMap.init();
+    k = new Object;
+    a = new Object;
+    call m.put(k, a);
+    vs = call m.values();
+    it = call vs.iterator();
+    x = call it.next();
+  }
+}
+)"},
+        ContainerRoundTrip{"KeySetViewGet", R"(
+class Main {
+  static method main(): void {
+    var m: HashMap;
+    var a: Object;
+    var v: Object;
+    var ks: Collection;
+    var x: Object;
+    m = new HashMap;
+    dcall m.HashMap.init();
+    a = new Object;
+    v = new Object;
+    call m.put(a, v);
+    ks = call m.keySet();
+    x = call ks.get();
+  }
+}
+)"},
+        ContainerRoundTrip{"StringBuilderFluent", R"(
+class Main {
+  static method main(): void {
+    var a: StringBuilder;
+    var s: String;
+    var x: StringBuilder;
+    a = new StringBuilder;
+    s = new String;
+    x = call a.append(s);
+  }
+}
+)"}),
+    [](const ::testing::TestParamInfo<ContainerRoundTrip> &Info) {
+      return Info.param.Name;
+    });
+
+TEST(StdlibSemanticsTest, MapKeysAndValuesAreDistinctAtRuntime) {
+  auto P = parseWithStdlib(R"(
+class Main {
+  static method main(): void {
+    var m: HashMap;
+    var k: Object;
+    var v: Object;
+    var gk: Object;
+    var gv: Object;
+    var ks: Collection;
+    var vs: Collection;
+    m = new HashMap;
+    dcall m.HashMap.init();
+    k = new Object;
+    v = new Object;
+    call m.put(k, v);
+    ks = call m.keySet();
+    gk = call ks.get();
+    vs = call m.values();
+    gv = call vs.get();
+  }
+}
+)");
+  MethodId Main = findMethod(*P, "Main", "main");
+  ObjId OK = allocOf(*P, findVar(*P, Main, "k"));
+  ObjId OV = allocOf(*P, findVar(*P, Main, "v"));
+  DynamicFacts F = interpret(*P);
+  VarId GK = findVar(*P, Main, "gk");
+  VarId GV = findVar(*P, Main, "gv");
+  EXPECT_EQ(F.VarPointsTo[GK], (std::unordered_set<ObjId>{OK}));
+  EXPECT_EQ(F.VarPointsTo[GV], (std::unordered_set<ObjId>{OV}));
+}
+
+TEST(StdlibSemanticsTest, SpecCoversEveryExitWithEntrances) {
+  // Assumption 1 sanity: every Exit's element category on a host class is
+  // fed by at least one Entrance of the same category somewhere in the
+  // spec (otherwise cutting its returns could never be compensated).
+  Program P;
+  std::vector<std::string> Diags;
+  ASSERT_TRUE(loadStdlib(P, Diags));
+  ContainerSpec Spec = ContainerSpec::forProgram(P);
+  bool HasEntrance[3] = {false, false, false};
+  for (MethodId M = 0; M < P.numMethods(); ++M) {
+    if (Spec.isEntrance(M)) {
+      for (const auto &EP : Spec.entranceParams(M))
+        HasEntrance[static_cast<int>(EP.Cat)] = true;
+    }
+  }
+  for (MethodId M = 0; M < P.numMethods(); ++M) {
+    if (Spec.isExit(M)) {
+      EXPECT_TRUE(HasEntrance[static_cast<int>(Spec.exitCategory(M))])
+          << "exit " << P.methodString(M) << " has no feeding entrance";
+    }
+  }
+}

@@ -1,0 +1,105 @@
+//===- PointsToSetTest.cpp - Unit tests for the hybrid set ----------------===//
+//
+// Part of the Cut-Shortcut pointer analysis reproduction.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/PointsToSet.h"
+#include "support/Rng.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+using namespace csc;
+
+TEST(PointsToSetTest, EmptyOnConstruction) {
+  PointsToSet S;
+  EXPECT_TRUE(S.empty());
+  EXPECT_EQ(S.size(), 0u);
+  EXPECT_FALSE(S.contains(0));
+  EXPECT_TRUE(S.toVector().empty());
+}
+
+TEST(PointsToSetTest, InsertReportsNovelty) {
+  PointsToSet S;
+  EXPECT_TRUE(S.insert(7));
+  EXPECT_FALSE(S.insert(7));
+  EXPECT_TRUE(S.insert(3));
+  EXPECT_EQ(S.size(), 2u);
+  EXPECT_TRUE(S.contains(7));
+  EXPECT_TRUE(S.contains(3));
+  EXPECT_FALSE(S.contains(5));
+}
+
+TEST(PointsToSetTest, IterationIsSortedSmall) {
+  PointsToSet S;
+  for (uint32_t O : {9u, 1u, 5u, 3u})
+    S.insert(O);
+  EXPECT_EQ(S.toVector(), (std::vector<uint32_t>{1, 3, 5, 9}));
+}
+
+TEST(PointsToSetTest, PromotionPreservesContents) {
+  PointsToSet S;
+  std::vector<uint32_t> Expected;
+  // Insert enough spread-out values to force bitmap promotion.
+  for (uint32_t I = 0; I < 200; ++I) {
+    uint32_t O = I * 37 + 5;
+    S.insert(O);
+    Expected.push_back(O);
+  }
+  std::sort(Expected.begin(), Expected.end());
+  EXPECT_EQ(S.size(), Expected.size());
+  EXPECT_EQ(S.toVector(), Expected);
+  for (uint32_t O : Expected)
+    EXPECT_TRUE(S.contains(O));
+  EXPECT_FALSE(S.contains(4));
+}
+
+TEST(PointsToSetTest, InsertAfterPromotionReportsNovelty) {
+  PointsToSet S;
+  for (uint32_t I = 0; I < 100; ++I)
+    S.insert(I);
+  EXPECT_FALSE(S.insert(50));
+  EXPECT_TRUE(S.insert(100000));
+  EXPECT_TRUE(S.contains(100000));
+}
+
+TEST(PointsToSetTest, IntersectsBothRepresentations) {
+  PointsToSet Small1, Small2, Big;
+  Small1.insert(4);
+  Small1.insert(8);
+  Small2.insert(9);
+  for (uint32_t I = 0; I < 100; ++I)
+    Big.insert(I * 2);
+  EXPECT_FALSE(Small1.intersects(Small2));
+  EXPECT_TRUE(Small1.intersects(Big));  // 4 is even.
+  EXPECT_FALSE(Small2.intersects(Big)); // 9 is odd.
+  EXPECT_TRUE(Big.intersects(Big));
+}
+
+/// Property sweep: the hybrid set must behave exactly like std::set under
+/// random insert/query sequences, across sizes that cross the promotion
+/// threshold.
+class PointsToSetPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(PointsToSetPropertyTest, MatchesReferenceSet) {
+  Rng R(GetParam());
+  PointsToSet S;
+  std::set<uint32_t> Ref;
+  uint32_t Universe = 1 + R.nextInRange(500);
+  for (int I = 0; I < 400; ++I) {
+    uint32_t O = R.nextInRange(Universe);
+    bool NewToRef = Ref.insert(O).second;
+    EXPECT_EQ(S.insert(O), NewToRef) << "element " << O;
+    uint32_t Q = R.nextInRange(Universe);
+    EXPECT_EQ(S.contains(Q), Ref.count(Q) != 0) << "query " << Q;
+  }
+  EXPECT_EQ(S.size(), Ref.size());
+  std::vector<uint32_t> Expected(Ref.begin(), Ref.end());
+  EXPECT_EQ(S.toVector(), Expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PointsToSetPropertyTest,
+                         ::testing::Range(1, 21));

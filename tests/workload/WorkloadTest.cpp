@@ -1,0 +1,95 @@
+//===- WorkloadTest.cpp - Synthetic benchmark generator tests -------------===//
+//
+// Part of the Cut-Shortcut pointer analysis reproduction.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workload/Workload.h"
+
+#include "interp/Interpreter.h"
+#include "ir/Verifier.h"
+#include "pta/Solver.h"
+
+#include <gtest/gtest.h>
+
+using namespace csc;
+
+TEST(WorkloadTest, GeneratesParsableVerifiablePrograms) {
+  WorkloadConfig C;
+  C.Seed = 7;
+  std::vector<std::string> Diags;
+  auto P = buildWorkloadProgram(C, Diags);
+  for (const std::string &D : Diags)
+    ADD_FAILURE() << D;
+  ASSERT_NE(P, nullptr);
+  EXPECT_TRUE(verifyProgram(*P).empty());
+  EXPECT_NE(P->entry(), InvalidId);
+}
+
+TEST(WorkloadTest, DeterministicForSameSeed) {
+  WorkloadConfig C;
+  C.Seed = 99;
+  EXPECT_EQ(generateWorkload(C), generateWorkload(C));
+  C.Seed = 100;
+  WorkloadConfig C2 = C;
+  C2.Seed = 101;
+  EXPECT_NE(generateWorkload(C), generateWorkload(C2));
+}
+
+TEST(WorkloadTest, AllPaperProfilesBuild) {
+  for (const WorkloadConfig &C : paperBenchmarkSuite()) {
+    std::vector<std::string> Diags;
+    auto P = buildWorkloadProgram(C, Diags);
+    for (const std::string &D : Diags)
+      ADD_FAILURE() << C.Name << ": " << D;
+    ASSERT_NE(P, nullptr) << C.Name;
+    std::vector<std::string> Errors = verifyProgram(*P);
+    for (const std::string &E : Errors)
+      ADD_FAILURE() << C.Name << ": " << E;
+    EXPECT_NE(P->entry(), InvalidId) << C.Name;
+  }
+}
+
+TEST(WorkloadTest, ProgramsAreAnalyzable) {
+  WorkloadConfig C;
+  C.Seed = 5;
+  C.NumScenarios = 4;
+  C.ActionsPerScenario = 6;
+  std::vector<std::string> Diags;
+  auto P = buildWorkloadProgram(C, Diags);
+  ASSERT_NE(P, nullptr);
+  Solver S(*P, {});
+  PTAResult R = S.solve();
+  EXPECT_FALSE(R.Exhausted);
+  EXPECT_GT(R.numReachableCI(), 10u);
+  EXPECT_GT(R.numCallEdgesCI(), 20u);
+}
+
+TEST(WorkloadTest, ProgramsAreExecutable) {
+  WorkloadConfig C;
+  C.Seed = 6;
+  C.NumScenarios = 4;
+  C.ActionsPerScenario = 6;
+  C.BombWidth = 4;
+  C.BombDepth = 3;
+  std::vector<std::string> Diags;
+  auto P = buildWorkloadProgram(C, Diags);
+  ASSERT_NE(P, nullptr);
+  DynamicFacts F = interpret(*P);
+  EXPECT_FALSE(F.Truncated);
+  EXPECT_GT(F.ReachedMethods.size(), 10u);
+  EXPECT_GT(F.Steps, 100u);
+}
+
+TEST(WorkloadTest, BombShapesDiffer) {
+  WorkloadConfig Obj;
+  Obj.BombWidth = 4;
+  Obj.BombDepth = 3;
+  Obj.BombMultiClass = false;
+  WorkloadConfig Multi = Obj;
+  Multi.BombMultiClass = true;
+  std::string SObj = generateWorkload(Obj);
+  std::string SMulti = generateWorkload(Multi);
+  EXPECT_EQ(SObj.find("BombMk_"), std::string::npos);
+  EXPECT_NE(SMulti.find("BombMk_"), std::string::npos);
+}

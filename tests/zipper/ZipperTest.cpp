@@ -1,0 +1,84 @@
+//===- ZipperTest.cpp - Selective context sensitivity tests ---------------===//
+//
+// Part of the Cut-Shortcut pointer analysis reproduction.
+//
+//===----------------------------------------------------------------------===//
+
+#include "zipper/Zipper.h"
+
+#include "client/AnalysisRunner.h"
+#include "pta/Solver.h"
+
+#include "../TestUtil.h"
+
+#include <gtest/gtest.h>
+
+using namespace csc;
+using namespace csc::test;
+
+TEST(ZipperTest, SelectsAccessorClasses) {
+  auto P = parseOrDie(figure1Source());
+  ZipperSelection Sel = runZipperSelection(*P);
+  // Carton has wrapped (setItem) and unwrapped (getItem) flows.
+  MethodId SetItem = findMethod(*P, "Carton", "setItem");
+  MethodId GetItem = findMethod(*P, "Carton", "getItem");
+  EXPECT_TRUE(Sel.Selected.count(SetItem));
+  EXPECT_TRUE(Sel.Selected.count(GetItem));
+  EXPECT_GE(Sel.CriticalClasses, 1u);
+}
+
+TEST(ZipperTest, IgnoresFlowFreeClasses) {
+  auto P = parseOrDie(R"(
+class Sink {
+  method consume(o: Object): void {
+    var x: Object;
+    x = new Object;
+  }
+}
+class Main {
+  static method main(): void {
+    var s: Sink;
+    var o: Object;
+    s = new Sink;
+    o = new Object;
+    call s.consume(o);
+  }
+}
+)");
+  ZipperSelection Sel = runZipperSelection(*P);
+  MethodId Consume = findMethod(*P, "Sink", "consume");
+  EXPECT_FALSE(Sel.Selected.count(Consume))
+      << "no IN->OUT flow, must not be selected";
+}
+
+TEST(ZipperTest, MainAnalysisRecoversFigure1Precision) {
+  auto P = parseOrDie(figure1Source());
+  RunConfig C;
+  C.Kind = AnalysisKind::ZipperE;
+  RunOutcome Out = runAnalysis(*P, C);
+  MethodId Main = findMethod(*P, "Main", "main");
+  ObjId O16 = allocOf(*P, findVar(*P, Main, "item1"));
+  VarId Result1 = findVar(*P, Main, "result1");
+  EXPECT_EQ(Out.Result.pt(Result1).toVector(), std::vector<uint32_t>{O16});
+  EXPECT_GT(Out.SelectedMethods, 0u);
+  EXPECT_GT(Out.PreMs, 0.0);
+}
+
+TEST(ZipperTest, CostGuardUnselectsExpensiveClasses) {
+  auto P = parseOrDie(figure1Source());
+  ZipperOptions Opts;
+  Opts.CostFraction = 0.0000001; // Everything is "too expensive".
+  Opts.MinCostFloor = 0;
+  ZipperSelection Sel = runZipperSelection(*P, Opts);
+  EXPECT_TRUE(Sel.Selected.empty());
+  EXPECT_GT(Sel.UnselectedByCostGuard, 0u);
+}
+
+TEST(ZipperTest, SelectionIsDeterministic) {
+  auto P1 = parseOrDie(figure1Source());
+  auto P2 = parseOrDie(figure1Source());
+  ZipperSelection S1 = runZipperSelection(*P1);
+  ZipperSelection S2 = runZipperSelection(*P2);
+  EXPECT_EQ(S1.Selected, S2.Selected);
+  EXPECT_EQ(S1.CriticalClasses, S2.CriticalClasses);
+}
