@@ -1,0 +1,13 @@
+#!/usr/bin/env bash
+# Tier-1 verify in one command: configure + build + ctest, exactly as the
+# ROADMAP specifies. Usage: scripts/check.sh [extra cmake args...]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+JOBS="$(nproc 2>/dev/null || getconf _NPROCESSORS_ONLN 2>/dev/null || echo 4)"
+
+cmake -B build -S . "$@"
+cmake --build build --parallel "$JOBS"
+cd build
+ctest --output-on-failure -j"$JOBS"

@@ -19,6 +19,7 @@
 
 #include "csc/CscState.h"
 #include "stdlib/ContainerSpec.h"
+#include "support/Hash.h"
 #include "support/PointsToSet.h"
 
 #include <deque>
@@ -65,9 +66,7 @@ private:
   void processSub(const Sub &SubInfo, ObjId Host);
   void addSource(ObjId H, ElemCategory C, PtrId Src);
   void addTarget(ObjId H, ElemCategory C, PtrId Tgt);
-  static uint64_t edgeKey(PtrId S, PtrId T) {
-    return (static_cast<uint64_t>(S) << 32) | T;
-  }
+  static uint64_t edgeKey(PtrId S, PtrId T) { return packPair(S, T); }
   static uint64_t matchKey(ObjId H, ElemCategory C) {
     return (static_cast<uint64_t>(H) << 2) | static_cast<uint64_t>(C);
   }

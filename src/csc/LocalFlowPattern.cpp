@@ -6,7 +6,7 @@
 
 #include "csc/LocalFlowPattern.h"
 
-#include <bit>
+#include "support/Hash.h"
 
 using namespace csc;
 
@@ -110,7 +110,7 @@ void LocalFlowPattern::onNewCallEdge(CSCallSiteId CS, CSMethodId Callee) {
     // [ShortcutLFlow]: argument k -> call-site LHS for each flowing k.
     uint64_t Mask = CR.Mask;
     while (Mask) {
-      unsigned K = std::countr_zero(Mask);
+      unsigned K = countTrailingZeros(Mask);
       Mask &= Mask - 1;
       VarId Arg = P.callArg(S, K);
       if (Arg != InvalidId)

@@ -159,10 +159,8 @@ private:
         break;
       deref(Base).Fields[S.Field] = Val;
       if (Val != Null)
-        Facts
-            .FieldPointsTo[(static_cast<uint64_t>(deref(Base).Alloc) << 32) |
-                           S.Field]
-            .insert(deref(Val).Alloc);
+        Facts.FieldPointsTo[packPair(deref(Base).Alloc, S.Field)].insert(
+            deref(Val).Alloc);
       break;
     }
     case StmtKind::ArrayLoad: {
@@ -209,8 +207,7 @@ private:
         if (Callee == InvalidId)
           break;
       }
-      Facts.CallEdges.insert((static_cast<uint64_t>(S.CallSite) << 32) |
-                             Callee);
+      Facts.CallEdges.insert(packPair(S.CallSite, Callee));
       std::vector<Ref> Args;
       Args.reserve(S.Args.size());
       for (VarId A : S.Args)

@@ -47,7 +47,7 @@ struct DynamicFacts {
   bool Truncated = false; ///< Step/depth budget was hit.
 
   bool hasCallEdge(CallSiteId CS, MethodId M) const {
-    return CallEdges.count((static_cast<uint64_t>(CS) << 32) | M) != 0;
+    return CallEdges.count(packPair(CS, M)) != 0;
   }
 
   /// Merges the facts of another run (multi-seed recall experiments).

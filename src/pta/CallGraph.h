@@ -62,15 +62,14 @@ public:
 
   /// Adds a call edge; returns false if it already existed.
   bool addEdge(CSCallSiteId CS, CSMethodId Callee) {
-    uint64_t Key = (static_cast<uint64_t>(CS) << 32) | Callee;
+    uint64_t Key = packPair(CS, Callee);
     if (!EdgeSet.insert(Key).second)
       return false;
     Callees[CS].push_back(Callee);
     Callers[Callee].push_back(CS);
     ++NumCSEdges;
     // CI projection.
-    uint64_t CIKey = (static_cast<uint64_t>(CSSites[CS].CS) << 32) |
-                     CSMethods[Callee].M;
+    uint64_t CIKey = packPair(CSSites[CS].CS, CSMethods[Callee].M);
     if (CIEdgeSet.insert(CIKey).second)
       CIEdges.push_back({CSSites[CS].CS, CSMethods[Callee].M});
     return true;

@@ -95,7 +95,7 @@ void Solver::undeferReturn(VarId V) {
 }
 
 bool Solver::addShortcutEdge(PtrId Src, PtrId Dst) {
-  ShortcutEdgeKeys.insert((static_cast<uint64_t>(Src) << 32) | Dst);
+  ShortcutEdgeKeys.insert(packPair(Src, Dst));
   return addPFGEdge(Src, Dst, InvalidId, EdgeOrigin::Shortcut);
 }
 

@@ -33,11 +33,13 @@
 #include "pta/PTAResult.h"
 #include "pta/Plugin.h"
 #include "pta/PointerFlowGraph.h"
+#include "support/Hash.h"
 #include "support/PointsToSet.h"
 #include "support/Timer.h"
 
 #include <deque>
 #include <memory>
+#include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
@@ -82,8 +84,7 @@ public:
   /// True if the edge was added via addShortcutEdge (for diagnostics and
   /// graph dumps).
   bool isShortcutEdge(PtrId Src, PtrId Dst) const {
-    return ShortcutEdgeKeys.count((static_cast<uint64_t>(Src) << 32) | Dst) !=
-           0;
+    return ShortcutEdgeKeys.count(packPair(Src, Dst)) != 0;
   }
 
   /// Current points-to set of a pointer (empty if never touched).

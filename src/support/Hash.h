@@ -26,6 +26,31 @@ inline void hashCombine(size_t &Seed, size_t Value) {
   Seed ^= Value + 0x9e3779b97f4a7c15ULL + (Seed << 6) + (Seed >> 2);
 }
 
+/// Number of trailing zero bits of \p Word (C++17-portable stand-in for
+/// std::countr_zero, including its zero-input contract of 64).
+inline unsigned countTrailingZeros(uint64_t Word) {
+  if (Word == 0)
+    return 64;
+#if defined(__GNUC__) || defined(__clang__)
+  return static_cast<unsigned>(__builtin_ctzll(Word));
+#else
+  unsigned N = 0;
+  while (!(Word & 1)) {
+    Word >>= 1;
+    ++N;
+  }
+  return N;
+#endif
+}
+
+/// Packs two 32-bit ids into one lossless 64-bit key, \p Hi in the high
+/// word. All entity ids (PtrId, StmtId, CallSiteId, ...) are 32-bit dense
+/// indices, so this never truncates; use it wherever an (id, id) pair keys
+/// an unordered container.
+inline uint64_t packPair(uint32_t Hi, uint32_t Lo) {
+  return (static_cast<uint64_t>(Hi) << 32) | Lo;
+}
+
 /// Hashes a pair of 32-bit ids into one size_t.
 inline size_t hashPair(uint32_t A, uint32_t B) {
   size_t Seed = A;

@@ -16,9 +16,9 @@
 #ifndef CSC_SUPPORT_POINTSTOSET_H
 #define CSC_SUPPORT_POINTSTOSET_H
 
+#include "support/Hash.h"
 #include "support/Ids.h"
 
-#include <bit>
 #include <cstddef>
 #include <cstdint>
 #include <vector>
@@ -47,7 +47,7 @@ public:
     for (std::size_t W = 0, E = Bits.size(); W != E; ++W) {
       uint64_t Word = Bits[W];
       while (Word) {
-        unsigned Bit = std::countr_zero(Word);
+        unsigned Bit = countTrailingZeros(Word);
         Fn(static_cast<uint32_t>(W * 64 + Bit));
         Word &= Word - 1;
       }

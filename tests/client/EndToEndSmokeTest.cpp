@@ -1,0 +1,94 @@
+//===- EndToEndSmokeTest.cpp - AnalysisRunner end-to-end smoke ------------===//
+//
+// Part of the Cut-Shortcut pointer analysis reproduction.
+//
+// Runs the full parse -> verify -> analyze pipeline on the paper's Figure 1
+// program under CI, 2obj and Cut-Shortcut, and checks that the precision
+// ordering the paper establishes holds: every context-sensitive (or CSC)
+// points-to set is a subset of the context-insensitive one, and the derived
+// metrics never get worse.
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+
+#include "client/AnalysisRunner.h"
+
+#include <gtest/gtest.h>
+
+using namespace csc;
+using namespace csc::test;
+
+namespace {
+
+RunOutcome runKind(const Program &P, AnalysisKind K) {
+  RunConfig C;
+  C.Kind = K;
+  RunOutcome O = runAnalysis(P, C);
+  EXPECT_FALSE(O.Exhausted) << "budget hit under " << analysisName(K);
+  return O;
+}
+
+/// True if pt(V) under Sub is a subset of pt(V) under Super, for every
+/// variable of the program.
+void expectPointwiseSubset(const Program &P, const PTAResult &Sub,
+                           const PTAResult &Super, const char *SubName) {
+  for (VarId V = 0; V < P.numVars(); ++V) {
+    const PointsToSet &S = Sub.pt(V);
+    const PointsToSet &Sup = Super.pt(V);
+    S.forEach([&](ObjId O) {
+      EXPECT_TRUE(Sup.contains(O))
+          << SubName << ": pt(" << P.var(V).Name << ") contains o" << O
+          << " which CI's set does not — unsound refinement";
+    });
+  }
+}
+
+TEST(EndToEndSmoke, PrecisionOrderingOnFigure1) {
+  std::unique_ptr<Program> P = parseOrDie(figure1Source());
+
+  RunOutcome CI = runKind(*P, AnalysisKind::CI);
+  RunOutcome TwoObj = runKind(*P, AnalysisKind::TwoObj);
+  RunOutcome Csc = runKind(*P, AnalysisKind::CSC);
+
+  // Every analysis must reach main and the Carton methods.
+  EXPECT_GE(CI.Metrics.ReachMethods, 3u);
+
+  // Refinements only: CSC and 2obj points-to sets are subsets of CI's.
+  expectPointwiseSubset(*P, Csc.Result, CI.Result, "CSC");
+  expectPointwiseSubset(*P, TwoObj.Result, CI.Result, "2obj");
+
+  // Aggregate metrics never get worse than CI (smaller is better).
+  EXPECT_LE(Csc.Metrics.FailCasts, CI.Metrics.FailCasts);
+  EXPECT_LE(Csc.Metrics.PolyCalls, CI.Metrics.PolyCalls);
+  EXPECT_LE(Csc.Metrics.CallEdges, CI.Metrics.CallEdges);
+  EXPECT_LE(Csc.Metrics.ReachMethods, CI.Metrics.ReachMethods);
+  EXPECT_LE(TwoObj.Metrics.FailCasts, CI.Metrics.FailCasts);
+  EXPECT_LE(TwoObj.Metrics.PolyCalls, CI.Metrics.PolyCalls);
+  EXPECT_LE(TwoObj.Metrics.CallEdges, CI.Metrics.CallEdges);
+}
+
+TEST(EndToEndSmoke, CscSeparatesFigure1Cartons) {
+  std::unique_ptr<Program> P = parseOrDie(figure1Source());
+  MethodId Main = findMethod(*P, "Main", "main");
+  ASSERT_NE(Main, InvalidId);
+  VarId Result1 = findVar(*P, Main, "result1");
+  VarId Result2 = findVar(*P, Main, "result2");
+  VarId Item1 = findVar(*P, Main, "item1");
+  VarId Item2 = findVar(*P, Main, "item2");
+  ObjId OItem1 = allocOf(*P, Item1);
+  ObjId OItem2 = allocOf(*P, Item2);
+
+  // CI conflates the two cartons' contents (Fig. 1a)...
+  RunOutcome CI = runKind(*P, AnalysisKind::CI);
+  EXPECT_EQ(CI.Result.pt(Result1).size(), 2u);
+  EXPECT_TRUE(CI.Result.mayAlias(Result1, Result2));
+
+  // ...Cut-Shortcut keeps them apart without any contexts (Fig. 1b).
+  RunOutcome Csc = runKind(*P, AnalysisKind::CSC);
+  EXPECT_EQ(Csc.Result.pt(Result1).toVector(), std::vector<uint32_t>{OItem1});
+  EXPECT_EQ(Csc.Result.pt(Result2).toVector(), std::vector<uint32_t>{OItem2});
+  EXPECT_GT(Csc.Csc.ShortcutEdges, 0u);
+}
+
+} // namespace

@@ -98,7 +98,7 @@ class Main {
   ObjId OB = allocOf(*P, findVar(*P, Main, "b"));
   ObjId OO = allocOf(*P, findVar(*P, Main, "o"));
   FieldId Fld = P->resolveField(P->typeByName("Box"), "f");
-  uint64_t Key = (static_cast<uint64_t>(OB) << 32) | Fld;
+  uint64_t Key = packPair(OB, Fld);
   ASSERT_EQ(F.FieldPointsTo.count(Key), 1u);
   EXPECT_TRUE(F.FieldPointsTo[Key].count(OO));
   FieldId G = P->resolveField(P->typeByName("Reg"), "g");
