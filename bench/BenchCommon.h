@@ -6,21 +6,24 @@
 ///
 /// \file
 /// Shared plumbing for the paper-table benchmark binaries: builds the ten
-/// workload programs, runs configured analyses with the emulated timeout,
-/// and formats aligned table rows. The timeout emulating the paper's
-/// 2-hour budget defaults to 3000 ms per analysis and can be overridden
-/// with the CSC_BENCH_BUDGET_MS environment variable.
+/// workload programs into AnalysisSessions, runs analysis specs with the
+/// emulated timeout, formats aligned table rows, and optionally records
+/// machine-readable results (--json <path>). The timeout emulating the
+/// paper's 2-hour budget defaults to 3000 ms per analysis and can be
+/// overridden with the CSC_BENCH_BUDGET_MS environment variable.
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef CSC_BENCH_BENCHCOMMON_H
 #define CSC_BENCH_BENCHCOMMON_H
 
-#include "client/AnalysisRunner.h"
+#include "client/AnalysisSession.h"
+#include "client/Report.h"
 #include "workload/Workload.h"
 
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <memory>
 #include <string>
 #include <vector>
@@ -46,7 +49,8 @@ inline double doopEngineFactor() {
 
 struct BenchProgram {
   std::string Name;
-  std::unique_ptr<Program> P;
+  std::unique_ptr<AnalysisSession> S;
+  const Program &program() const { return S->program(); }
 };
 
 /// Builds all ten paper-profile programs (exits on generator bugs).
@@ -55,44 +59,132 @@ inline std::vector<BenchProgram> buildSuite() {
   for (const WorkloadConfig &C : paperBenchmarkSuite()) {
     std::vector<std::string> Diags;
     auto P = buildWorkloadProgram(C, Diags);
-    if (!P) {
+    std::unique_ptr<AnalysisSession> S;
+    if (P)
+      S = AnalysisSession::adopt(std::move(P), {}, Diags);
+    if (!S) {
       for (const std::string &D : Diags)
         std::fprintf(stderr, "%s\n", D.c_str());
       std::exit(1);
     }
-    Out.push_back({C.Name, std::move(P)});
+    Out.push_back({C.Name, std::move(S)});
   }
   return Out;
 }
 
-/// Runs one analysis kind with the emulated timeout. Multi-phase analyses
+/// Runs one analysis spec with the emulated timeout. Multi-phase analyses
 /// (Zipper-e) are additionally held to the budget on their total time.
-inline RunOutcome runWithBudget(const Program &P, AnalysisKind K,
-                                bool DoopMode) {
-  RunConfig C;
-  C.Kind = K;
-  C.DoopMode = DoopMode;
-  C.TimeBudgetMs = DoopMode ? budgetMs() / doopEngineFactor() : budgetMs();
-  RunOutcome O = runAnalysis(P, C);
-  if (O.TotalMs > C.TimeBudgetMs)
-    O.Exhausted = true;
+inline AnalysisRun runWithBudget(AnalysisSession &S, const std::string &Spec,
+                                 bool DoopMode) {
+  double Budget = DoopMode ? budgetMs() / doopEngineFactor() : budgetMs();
+  S.setTimeBudgetMs(Budget);
+  AnalysisRun O = S.run(DoopMode ? Spec + ";engine=doop" : Spec);
+  if (O.Status == RunStatus::SpecError) {
+    std::fprintf(stderr, "bench spec error: %s\n", O.Error.c_str());
+    std::exit(1);
+  }
+  if (O.completed() && O.Timings.TotalMs > Budget)
+    O.Status = RunStatus::BudgetExhausted;
   return O;
 }
 
 /// ">budget" column for exhausted runs, seconds otherwise.
-inline std::string fmtTime(const RunOutcome &O) {
-  if (O.Exhausted)
+inline std::string fmtTime(const AnalysisRun &O) {
+  if (!O.completed())
     return ">budget";
   char Buf[32];
-  std::snprintf(Buf, sizeof(Buf), "%.3f", O.TotalMs / 1000.0);
+  std::snprintf(Buf, sizeof(Buf), "%.3f", O.Timings.TotalMs / 1000.0);
   return Buf;
 }
 
-inline std::string fmtCount(const RunOutcome &O, uint64_t V) {
-  if (O.Exhausted)
+inline std::string fmtCount(const AnalysisRun &O, uint64_t V) {
+  if (!O.completed())
     return "-";
   return std::to_string(V);
 }
+
+//===----------------------------------------------------------------------===//
+// Machine-readable bench output (--json <path>)
+//===----------------------------------------------------------------------===//
+
+struct BenchOptions {
+  std::string JsonPath;
+};
+
+/// Parses the shared bench flags; exits(2) on unknown arguments.
+inline BenchOptions parseBenchOptions(int Argc, char **Argv) {
+  BenchOptions Out;
+  for (int I = 1; I < Argc; ++I) {
+    std::string Arg = Argv[I];
+    if (Arg.rfind("--json=", 0) == 0) {
+      Out.JsonPath = Arg.substr(7);
+    } else if (Arg == "--json" && I + 1 < Argc) {
+      Out.JsonPath = Argv[++I];
+    } else {
+      std::fprintf(stderr, "usage: %s [--json <path>]\n", Argv[0]);
+      std::exit(2);
+    }
+  }
+  return Out;
+}
+
+/// Accumulates per-(program, analysis) records and writes one JSON
+/// document — the seed of the BENCH_*.json perf trajectory. Disabled
+/// (no-op) when constructed with an empty path.
+class BenchJson {
+public:
+  BenchJson(std::string BenchName, std::string Path)
+      : Path(std::move(Path)) {
+    if (!enabled())
+      return;
+    J.beginObject();
+    J.kv("bench", BenchName);
+    J.kv("budget_ms", budgetMs());
+    J.kv("doop_engine_factor", doopEngineFactor());
+    J.key("records").beginArray();
+  }
+
+  bool enabled() const { return !Path.empty(); }
+
+  /// Records one analysis run.
+  void record(const std::string &Prog, const AnalysisRun &O) {
+    if (!enabled())
+      return;
+    J.beginObject().kv("program", Prog).key("run");
+    appendRunJson(J, O);
+    J.endObject();
+  }
+
+  /// Records a bespoke row of numeric results (ablations, recall, ...).
+  void custom(const std::string &Prog, const std::string &Label,
+              const std::vector<std::pair<std::string, double>> &KV) {
+    if (!enabled())
+      return;
+    J.beginObject().kv("program", Prog).kv("label", Label);
+    for (const auto &[K, V] : KV)
+      J.kv(K, V);
+    J.endObject();
+  }
+
+  /// Closes the document and writes the file; returns false on I/O error.
+  bool write() {
+    if (!enabled())
+      return true;
+    J.endArray().endObject();
+    std::ofstream Out(Path);
+    if (!Out) {
+      std::fprintf(stderr, "error: cannot write '%s'\n", Path.c_str());
+      return false;
+    }
+    Out << J.str() << "\n";
+    std::fprintf(stderr, "wrote %s\n", Path.c_str());
+    return true;
+  }
+
+private:
+  std::string Path;
+  JsonWriter J;
+};
 
 } // namespace csc::bench
 

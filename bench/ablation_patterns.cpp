@@ -3,11 +3,12 @@
 // Part of the Cut-Shortcut pointer analysis reproduction.
 //
 // Regenerates the per-pattern ablation discussed in §5.1 (RQ1): enable
-// exactly one pattern at a time and report which fraction of the total
-// CI→CSC precision improvement each pattern contributes, per metric. The
-// paper reports e.g. field/container/local-flow = 11.9%/75.8%/11.8% for
-// #fail-cast and 53.2%/40.5%/2.0% for #reach-mtd on average; fractions
-// need not sum to 100% (pattern interactions).
+// exactly one pattern at a time (via registry spec parameters) and report
+// which fraction of the total CI→CSC precision improvement each pattern
+// contributes, per metric. The paper reports e.g. field/container/
+// local-flow = 11.9%/75.8%/11.8% for #fail-cast and 53.2%/40.5%/2.0% for
+// #reach-mtd on average; fractions need not sum to 100% (pattern
+// interactions).
 //
 //===----------------------------------------------------------------------===//
 
@@ -20,14 +21,6 @@ using namespace csc::bench;
 
 namespace {
 
-RunOutcome runVariant(const Program &P, CutShortcutOptions Opts) {
-  RunConfig C;
-  C.Kind = AnalysisKind::CSC;
-  C.Csc = Opts;
-  C.TimeBudgetMs = budgetMs();
-  return runAnalysis(P, C);
-}
-
 double improvementPct(uint64_t CI, uint64_t Variant, uint64_t Full) {
   if (CI <= Full)
     return 0.0;
@@ -38,7 +31,9 @@ double improvementPct(uint64_t CI, uint64_t Variant, uint64_t Full) {
 
 } // namespace
 
-int main() {
+int main(int Argc, char **Argv) {
+  BenchOptions BO = parseBenchOptions(Argc, Argv);
+  BenchJson J("ablation_patterns", BO.JsonPath);
   std::printf("Per-pattern precision impact (%% of the CI->CSC improvement "
               "recovered by each pattern alone)\n");
   std::printf("%-10s %-12s %12s %12s %12s %12s\n", "program", "pattern",
@@ -46,29 +41,31 @@ int main() {
 
   struct Variant {
     const char *Name;
-    CutShortcutOptions Opts;
+    const char *Spec;
   };
-  CutShortcutOptions FieldOnly, ContainerOnly, LocalOnly;
-  FieldOnly.Container = FieldOnly.LocalFlow = false;
-  ContainerOnly.FieldStore = ContainerOnly.FieldLoad =
-      ContainerOnly.LocalFlow = false;
-  LocalOnly.FieldStore = LocalOnly.FieldLoad = LocalOnly.Container = false;
-  const Variant Variants[] = {{"field", FieldOnly},
-                              {"container", ContainerOnly},
-                              {"local-flow", LocalOnly}};
+  const Variant Variants[] = {
+      {"field", "csc;container=0;local=0"},
+      {"container", "csc;field=0;load=0;local=0"},
+      {"local-flow", "csc;field=0;load=0;container=0"}};
 
   double Sum[3][4] = {};
-  int Counted = 0;
+  int Counted[3] = {};
   for (BenchProgram &BP : buildSuite()) {
-    RunConfig CICfg;
-    CICfg.TimeBudgetMs = budgetMs();
-    RunOutcome CI = runAnalysis(*BP.P, CICfg);
-    RunOutcome Full = runVariant(*BP.P, {});
-    if (CI.Exhausted || Full.Exhausted)
+    AnalysisRun CI = runWithBudget(*BP.S, "ci", /*DoopMode=*/false);
+    AnalysisRun Full = runWithBudget(*BP.S, "csc", /*DoopMode=*/false);
+    if (!CI.completed() || !Full.completed())
       continue;
-    ++Counted;
     for (int V = 0; V != 3; ++V) {
-      RunOutcome O = runVariant(*BP.P, Variants[V].Opts);
+      AnalysisRun O = runWithBudget(*BP.S, Variants[V].Spec,
+                                    /*DoopMode=*/false);
+      if (!O.completed()) {
+        // An exhausted variant carries no metrics; reporting it would
+        // inflate its improvement share past 100%.
+        std::printf("%-10s %-12s %12s\n", BP.Name.c_str(),
+                    Variants[V].Name, ">budget");
+        continue;
+      }
+      ++Counted[V];
       double Pct[4] = {
           improvementPct(CI.Metrics.FailCasts, O.Metrics.FailCasts,
                          Full.Metrics.FailCasts),
@@ -81,22 +78,29 @@ int main() {
       };
       for (int M = 0; M != 4; ++M)
         Sum[V][M] += Pct[M];
+      J.custom(BP.Name, Variants[V].Name,
+               {{"fail_cast_pct", Pct[0]},
+                {"reach_mtd_pct", Pct[1]},
+                {"poly_call_pct", Pct[2]},
+                {"call_edge_pct", Pct[3]}});
       std::printf("%-10s %-12s %11.1f%% %11.1f%% %11.1f%% %11.1f%%\n",
                   BP.Name.c_str(), Variants[V].Name, Pct[0], Pct[1], Pct[2],
                   Pct[3]);
     }
     std::printf("\n");
   }
-  if (Counted) {
-    std::printf("-- averages over %d programs --\n", Counted);
-    for (int V = 0; V != 3; ++V)
-      std::printf("%-10s %-12s %11.1f%% %11.1f%% %11.1f%% %11.1f%%\n",
-                  "average", Variants[V].Name, Sum[V][0] / Counted,
-                  Sum[V][1] / Counted, Sum[V][2] / Counted,
-                  Sum[V][3] / Counted);
+  for (int V = 0; V != 3; ++V) {
+    if (V == 0)
+      std::printf("-- per-variant averages --\n");
+    if (Counted[V])
+      std::printf("%-10s %-12s %11.1f%% %11.1f%% %11.1f%% %11.1f%% "
+                  "(over %d programs)\n",
+                  "average", Variants[V].Name, Sum[V][0] / Counted[V],
+                  Sum[V][1] / Counted[V], Sum[V][2] / Counted[V],
+                  Sum[V][3] / Counted[V], Counted[V]);
   }
   std::printf("\nExpected shape (paper, averages): the container pattern "
               "dominates #fail-cast; the field pattern dominates "
               "#reach-mtd; local flow contributes a small share.\n");
-  return 0;
+  return J.write() ? 0 : 1;
 }

@@ -6,7 +6,7 @@
 // worlds: methods whose PFG edges Cut-Shortcut does NOT manipulate could
 // still be analyzed context-sensitively by a selective approach. This
 // ablation explores selection strategies for a selective 2obj main
-// analysis:
+// analysis, expressed as custom AnalysisRecipes (the SelectOnly knob):
 //   * zipper   — the Zipper-e selection (baseline),
 //   * involved — the methods Cut-Shortcut's cut/shortcut edges involve
 //                (a one-CSC-run heuristic),
@@ -16,12 +16,6 @@
 //===----------------------------------------------------------------------===//
 
 #include "BenchCommon.h"
-
-#include "csc/CutShortcutPlugin.h"
-#include "pta/Solver.h"
-#include "stdlib/ContainerSpec.h"
-#include "support/Timer.h"
-#include "zipper/Zipper.h"
 
 #include <cstdio>
 
@@ -35,58 +29,67 @@ struct Cell {
   std::string FailCasts;
 };
 
-Cell runSelective(const Program &P,
-                  const std::unordered_set<MethodId> &Selected) {
-  KObjSelector Inner(2);
-  SelectiveSelector Sel(Inner, Selected);
-  SolverOptions Opts;
-  Opts.Selector = &Sel;
-  Opts.TimeBudgetMs = budgetMs();
-  Timer T;
-  Solver S(P, Opts);
-  PTAResult R = S.solve();
-  if (R.Exhausted)
+AnalysisRecipe selectiveRecipe(std::unordered_set<MethodId> Selected,
+                               const char *Name) {
+  AnalysisRecipe R;
+  R.Name = Name;
+  R.Kind = AnalysisKind::TwoObj;
+  R.MakeSelector = [] { return std::make_unique<KObjSelector>(2); };
+  R.SelectOnly = std::make_shared<const std::unordered_set<MethodId>>(
+      std::move(Selected));
+  return R;
+}
+
+Cell runSelective(AnalysisSession &S, std::unordered_set<MethodId> Selected,
+                  const char *Name) {
+  S.setTimeBudgetMs(budgetMs());
+  AnalysisRun R = S.run(selectiveRecipe(std::move(Selected), Name));
+  if (!R.completed())
     return {">budget", "-"};
-  PrecisionMetrics M = computeMetrics(P, R);
   char Buf[32];
-  std::snprintf(Buf, sizeof(Buf), "%.3f", T.elapsedMs() / 1000.0);
-  return {Buf, std::to_string(M.FailCasts)};
+  std::snprintf(Buf, sizeof(Buf), "%.3f", R.Timings.TotalMs / 1000.0);
+  return {Buf, std::to_string(R.Metrics.FailCasts)};
 }
 
 } // namespace
 
-int main() {
+int main(int Argc, char **Argv) {
+  BenchOptions BO = parseBenchOptions(Argc, Argv);
+  BenchJson J("ablation_selection", BO.JsonPath);
   std::printf("Selection-strategy ablation for selective 2obj "
               "(time s / #fail-cast)\n");
   std::printf("%-10s %18s %18s %18s %18s\n", "program", "zipper-sel",
               "csc-involved-sel", "union-sel", "plain CSC");
   for (BenchProgram &BP : buildSuite()) {
-    const Program &P = *BP.P;
+    AnalysisSession &S = *BP.S;
 
-    ZipperSelection ZSel = runZipperSelection(P);
+    const ZipperSelection &ZSel = S.zipperSelection(ZipperOptions{});
 
     // One CSC run to obtain the involved-method set (and its own cell).
-    ContainerSpec Spec = ContainerSpec::forProgram(P);
-    CutShortcutPlugin Plugin(P, Spec);
-    SolverOptions CscOpts;
-    CscOpts.TimeBudgetMs = budgetMs();
-    Timer CscT;
-    Solver CS(P, CscOpts);
-    CS.addPlugin(&Plugin);
-    PTAResult CR = CS.solve();
+    AnalysisRun Csc = runWithBudget(S, "csc", /*DoopMode=*/false);
     char Buf[64];
-    std::snprintf(Buf, sizeof(Buf), "%.3f/%u", CscT.elapsedMs() / 1000.0,
-                  computeMetrics(P, CR).FailCasts);
-    std::string CscCell = Buf;
+    std::snprintf(Buf, sizeof(Buf), "%.3f/%u",
+                  Csc.Timings.TotalMs / 1000.0, Csc.Metrics.FailCasts);
+    std::string CscCell = Csc.completed() ? Buf : ">budget/-";
 
-    std::unordered_set<MethodId> Involved = Plugin.involvedMethods();
+    std::unordered_set<MethodId> Involved = Csc.Csc.Involved;
     std::unordered_set<MethodId> Union = ZSel.Selected;
     Union.insert(Involved.begin(), Involved.end());
 
-    Cell Z = runSelective(P, ZSel.Selected);
-    Cell I = runSelective(P, Involved);
-    Cell U = runSelective(P, Union);
+    Cell Z = runSelective(S, ZSel.Selected, "sel-2obj;zipper");
+    Cell I = runSelective(S, std::move(Involved), "sel-2obj;involved");
+    Cell U = runSelective(S, std::move(Union), "sel-2obj;union");
     auto Fmt = [](const Cell &C) { return C.Time + "/" + C.FailCasts; };
+    // Record only completed CSC runs: an exhausted run's zeroed metrics
+    // would be indistinguishable from a real measurement in the JSON.
+    if (Csc.completed())
+      J.custom(BP.Name, "selection",
+               {{"csc_fail_casts",
+                 static_cast<double>(Csc.Metrics.FailCasts)},
+                {"csc_time_ms", Csc.Timings.TotalMs},
+                {"zipper_selected",
+                 static_cast<double>(ZSel.Selected.size())},
+                {"involved", static_cast<double>(Csc.Csc.Involved.size())}});
     std::printf("%-10s %18s %18s %18s %18s\n", BP.Name.c_str(),
                 Fmt(Z).c_str(), Fmt(I).c_str(), Fmt(U).c_str(),
                 CscCell.c_str());
@@ -97,5 +100,5 @@ int main() {
               "paper's Table 3 finding that the two method sets overlap "
               "only partially. And plain CSC beats every selective "
               "variant on both time and #fail-cast.\n");
-  return 0;
+  return J.write() ? 0 : 1;
 }

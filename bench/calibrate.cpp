@@ -15,24 +15,26 @@
 using namespace csc;
 using namespace csc::bench;
 
-int main() {
+int main(int Argc, char **Argv) {
+  BenchOptions Opts = parseBenchOptions(Argc, Argv);
+  BenchJson J("calibrate", Opts.JsonPath);
   bool Doop = std::getenv("CSC_CALIBRATE_DOOP") != nullptr;
   std::printf("mode: %s\n", Doop ? "doop (full re-propagation)" : "tai-e");
   std::printf("%-10s %8s %8s | %10s %12s\n", "program", "methods", "stmts",
               "analysis", "time/work");
   for (BenchProgram &BP : buildSuite()) {
-    const Program &P = *BP.P;
+    const Program &P = BP.program();
     std::printf("%-10s %8u %8u\n", BP.Name.c_str(), P.numMethods(),
                 P.numStmts());
-    for (AnalysisKind K :
-         {AnalysisKind::CI, AnalysisKind::CSC, AnalysisKind::ZipperE,
-          AnalysisKind::TwoType, AnalysisKind::TwoObj}) {
-      RunOutcome O = runWithBudget(P, K, Doop);
+    for (const char *Spec : {"ci", "csc", "zipper-e", "2type", "2obj"}) {
+      AnalysisRun O = runWithBudget(*BP.S, Spec, Doop);
+      J.record(BP.Name, O);
       std::printf("%-10s %8s %8s | %10s %8.0fms work=%llu%s\n", "", "", "",
-                  analysisName(K), O.TotalMs,
-                  static_cast<unsigned long long>(O.Result.Stats.PtsInsertions),
-                  O.Exhausted ? " EXHAUSTED" : "");
+                  Spec, O.Timings.TotalMs,
+                  static_cast<unsigned long long>(
+                      O.Result.Stats.PtsInsertions),
+                  O.completed() ? "" : " EXHAUSTED");
     }
   }
-  return 0;
+  return J.write() ? 0 : 1;
 }

@@ -16,19 +16,20 @@
 using namespace csc;
 using namespace csc::bench;
 
-int main() {
+int main(int Argc, char **Argv) {
+  BenchOptions Opts = parseBenchOptions(Argc, Argv);
+  BenchJson J("fig12_analysis_time", Opts.JsonPath);
   std::printf("Figure 12: analysis time in seconds (Doop engine emulation; "
               "budget %.0f ms, engine factor %.0fx)\n",
               budgetMs(), doopEngineFactor());
   std::printf("%-10s %10s %10s %10s %10s %10s\n", "program", "CSC", "CI",
               "Zipper-e", "2type", "2obj");
-  const AnalysisKind Kinds[] = {AnalysisKind::CSC, AnalysisKind::CI,
-                                AnalysisKind::ZipperE, AnalysisKind::TwoType,
-                                AnalysisKind::TwoObj};
+  const char *Specs[] = {"csc", "ci", "zipper-e", "2type", "2obj"};
   for (BenchProgram &BP : buildSuite()) {
     std::printf("%-10s", BP.Name.c_str());
-    for (AnalysisKind K : Kinds) {
-      RunOutcome O = runWithBudget(*BP.P, K, /*DoopMode=*/true);
+    for (const char *Spec : Specs) {
+      AnalysisRun O = runWithBudget(*BP.S, Spec, /*DoopMode=*/true);
+      J.record(BP.Name, O);
       std::printf(" %10s", fmtTime(O).c_str());
     }
     std::printf("\n");
@@ -37,5 +38,5 @@ int main() {
               "Zipper-e slower than both; 2obj exceeds the budget "
               "everywhere; 2type only scales for eclipse/hsqldb/jedit/"
               "findbugs.\n");
-  return 0;
+  return J.write() ? 0 : 1;
 }

@@ -64,26 +64,36 @@ Recall checkRecall(const Program &P, const DynamicFacts &Dyn,
 
 } // namespace
 
-int main() {
+int main(int Argc, char **Argv) {
+  BenchOptions Opts = parseBenchOptions(Argc, Argv);
+  BenchJson J("recall_soundness", Opts.JsonPath);
   std::printf("Recall experiment: dynamic facts (5 seeds) vs static "
               "over-approximation\n");
   std::printf("%-10s %-9s %14s %14s %16s %12s\n", "program", "analysis",
               "methods", "call-edges", "var-pt-facts", "failed-casts");
   bool AllSound = true;
   for (BenchProgram &BP : buildSuite()) {
-    DynamicFacts Dyn = interpretManySeeds(*BP.P, 5);
-    for (AnalysisKind K :
-         {AnalysisKind::CI, AnalysisKind::CSC, AnalysisKind::TwoObj}) {
-      RunOutcome O = runWithBudget(*BP.P, K, /*DoopMode=*/false);
-      if (O.Exhausted) {
-        std::printf("%-10s %-9s %14s\n", BP.Name.c_str(), analysisName(K),
-                    ">budget");
+    DynamicFacts Dyn = interpretManySeeds(BP.program(), 5);
+    for (const char *Spec : {"ci", "csc", "2obj"}) {
+      AnalysisRun O = runWithBudget(*BP.S, Spec, /*DoopMode=*/false);
+      if (!O.completed()) {
+        std::printf("%-10s %-9s %14s\n", BP.Name.c_str(), Spec, ">budget");
         continue;
       }
-      Recall Rc = checkRecall(*BP.P, Dyn, O.Result);
+      Recall Rc = checkRecall(BP.program(), Dyn, O.Result);
+      J.custom(BP.Name, Spec,
+               {{"methods", static_cast<double>(Rc.Methods)},
+                {"methods_missed", static_cast<double>(Rc.MethodsMissed)},
+                {"call_edges", static_cast<double>(Rc.Edges)},
+                {"call_edges_missed", static_cast<double>(Rc.EdgesMissed)},
+                {"pt_facts", static_cast<double>(Rc.PtFacts)},
+                {"pt_facts_missed", static_cast<double>(Rc.PtMissed)},
+                {"failed_casts", static_cast<double>(Rc.Casts)},
+                {"failed_casts_missed",
+                 static_cast<double>(Rc.CastsMissed)}});
       std::printf("%-10s %-9s %8llu/%-5llu %8llu/%-5llu %10llu/%-5llu "
                   "%6llu/%-5llu\n",
-                  BP.Name.c_str(), analysisName(K),
+                  BP.Name.c_str(), Spec,
                   static_cast<unsigned long long>(Rc.Methods -
                                                   Rc.MethodsMissed),
                   static_cast<unsigned long long>(Rc.Methods),
@@ -102,5 +112,7 @@ int main() {
                             ? "RESULT: full recall — every dynamic fact is "
                               "over-approximated by every analysis."
                             : "RESULT: RECALL FAILURE — soundness bug!");
+  if (!J.write())
+    return 1;
   return AllSound ? 0 : 1;
 }

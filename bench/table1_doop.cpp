@@ -14,13 +14,15 @@
 
 using namespace csc::bench;
 
-int main() {
+int main(int Argc, char **Argv) {
+  BenchOptions Opts = parseBenchOptions(Argc, Argv);
+  BenchJson J("table1_doop", Opts.JsonPath);
   printMetricsTable(
-      "Table 1: efficiency and precision on the Doop-style engine", true);
+      "Table 1: efficiency and precision on the Doop-style engine", true, J);
   std::printf("Expected shape (paper): 2obj exceeds the budget for all "
               "programs; 2type scales only for eclipse/hsqldb/jedit/"
               "findbugs; Zipper-e fails for soot and columba; CSC is the "
               "fastest analysis (faster than CI on most programs) with "
               "precision between Zipper-e and CI, best #fail-cast.\n");
-  return 0;
+  return J.write() ? 0 : 1;
 }

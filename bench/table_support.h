@@ -14,22 +14,23 @@
 namespace csc::bench {
 
 /// Prints one of the paper's efficiency/precision tables (Tables 1 and 2
-/// share this layout; they differ in the engine mode).
-inline void printMetricsTable(const char *Title, bool DoopMode) {
+/// share this layout; they differ in the engine mode) and records every
+/// run into \p J.
+inline void printMetricsTable(const char *Title, bool DoopMode,
+                              BenchJson &J) {
   std::printf("%s\n", Title);
   std::printf("(budget %.0f ms%s)\n", budgetMs(),
               DoopMode ? ", divided by the Doop engine factor" : "");
   std::printf("%-10s %-9s %10s %10s %10s %10s %12s\n", "program",
               "analysis", "time(s)", "#fail-cast", "#reach-mtd",
               "#poly-call", "#call-edge");
-  const AnalysisKind Kinds[] = {AnalysisKind::CI, AnalysisKind::TwoObj,
-                                AnalysisKind::TwoType, AnalysisKind::ZipperE,
-                                AnalysisKind::CSC};
+  const char *Specs[] = {"ci", "2obj", "2type", "zipper-e", "csc"};
   for (BenchProgram &BP : buildSuite()) {
-    for (AnalysisKind K : Kinds) {
-      RunOutcome O = runWithBudget(*BP.P, K, DoopMode);
+    for (const char *Spec : Specs) {
+      AnalysisRun O = runWithBudget(*BP.S, Spec, DoopMode);
+      J.record(BP.Name, O);
       std::printf("%-10s %-9s %10s %10s %10s %10s %12s\n",
-                  BP.Name.c_str(), analysisName(K), fmtTime(O).c_str(),
+                  BP.Name.c_str(), Spec, fmtTime(O).c_str(),
                   fmtCount(O, O.Metrics.FailCasts).c_str(),
                   fmtCount(O, O.Metrics.ReachMethods).c_str(),
                   fmtCount(O, O.Metrics.PolyCalls).c_str(),

@@ -1,31 +1,33 @@
-//===- analyze.cpp - Command-line analyzer for .jir programs ----------------===//
+//===- analyze.cpp - Minimal session-API walkthrough ------------------------===//
 //
 // Part of the Cut-Shortcut pointer analysis reproduction.
 //
-// A small driver exposing the whole toolchain: parse a `.jir` file (with
-// the modelled standard library unless --no-stdlib), run the requested
-// analysis, and print the four precision metrics plus solver statistics.
+// A compact tour of the client API: load a `.jir` file into an
+// AnalysisSession, run one registered analysis spec, print metrics, and
+// optionally dump the IR / call graph / pointer-flow graph. The
+// full-featured end-user driver is `tools/cscpta.cpp`; this example stays
+// small on purpose.
 //
 // Usage:
-//   build/examples/analyze <file.jir> [--analysis=ci|csc|zipper|2obj|2type|2cs]
-//                          [--doop] [--no-stdlib] [--budget-ms=N]
-//                          [--dump-ir]
+//   build/examples/example_analyze <file.jir> [--analysis=<spec>]
+//                                  [--no-stdlib] [--budget-ms=N]
+//                                  [--dump-ir] [--dump-pfg]
+//                                  [--dump-callgraph]
+//
+// <spec> is any registered analysis spec, e.g. ci, csc, csc-doop,
+// zipper-e;pv=0.05, k-type;k=3 (see `cscpta --list`).
 //
 //===----------------------------------------------------------------------===//
 
-#include "client/AnalysisRunner.h"
+#include "client/AnalysisSession.h"
 #include "csc/CutShortcutPlugin.h"
-#include "frontend/Parser.h"
 #include "ir/Printer.h"
-#include "ir/Verifier.h"
 #include "pta/GraphDump.h"
+#include "pta/Solver.h"
 #include "stdlib/ContainerSpec.h"
-#include "stdlib/Stdlib.h"
 
 #include <cstdio>
 #include <cstring>
-#include <fstream>
-#include <sstream>
 #include <string>
 
 using namespace csc;
@@ -33,12 +35,11 @@ using namespace csc;
 namespace {
 
 int usage(const char *Prog) {
-  std::fprintf(
-      stderr,
-      "usage: %s <file.jir> [--analysis=ci|csc|zipper|2obj|2type|2cs]\n"
-      "          [--doop] [--no-stdlib] [--budget-ms=N] [--dump-ir]\n"
-      "          [--dump-pfg] [--dump-callgraph]\n",
-      Prog);
+  std::fprintf(stderr,
+               "usage: %s <file.jir> [--analysis=<spec>] [--no-stdlib]\n"
+               "          [--budget-ms=N] [--dump-ir] [--dump-pfg]\n"
+               "          [--dump-callgraph]\n",
+               Prog);
   return 2;
 }
 
@@ -48,7 +49,6 @@ int main(int Argc, char **Argv) {
   std::string File;
   std::string Analysis = "csc";
   bool UseStdlib = true;
-  bool DoopMode = false;
   bool DumpIR = false;
   bool DumpPFG = false;
   bool DumpCG = false;
@@ -60,8 +60,6 @@ int main(int Argc, char **Argv) {
       Analysis = Arg.substr(11);
     else if (Arg == "--no-stdlib")
       UseStdlib = false;
-    else if (Arg == "--doop")
-      DoopMode = true;
     else if (Arg == "--dump-ir")
       DumpIR = true;
     else if (Arg == "--dump-pfg")
@@ -80,103 +78,70 @@ int main(int Argc, char **Argv) {
   if (File.empty())
     return usage(Argv[0]);
 
-  std::ifstream In(File);
-  if (!In) {
-    std::fprintf(stderr, "error: cannot open '%s'\n", File.c_str());
-    return 1;
-  }
-  std::ostringstream Buf;
-  Buf << In.rdbuf();
-
-  Program P;
-  std::vector<std::pair<std::string, std::string>> Sources;
-  if (UseStdlib)
-    Sources.emplace_back("<stdlib>", stdlibSource());
-  Sources.emplace_back(File, Buf.str());
+  AnalysisSession::Options SO;
+  SO.WithStdlib = UseStdlib;
+  SO.TimeBudgetMs = BudgetMs;
   std::vector<std::string> Diags;
-  if (!parseProgram(P, Sources, Diags)) {
+  std::unique_ptr<AnalysisSession> S =
+      AnalysisSession::fromFiles({File}, std::move(SO), Diags);
+  if (!S) {
     for (const std::string &D : Diags)
       std::fprintf(stderr, "%s\n", D.c_str());
     return 1;
   }
-  std::vector<std::string> Errors = verifyProgram(P);
-  if (!Errors.empty()) {
-    for (const std::string &E : Errors)
-      std::fprintf(stderr, "verifier: %s\n", E.c_str());
-    return 1;
-  }
-  if (P.entry() == InvalidId) {
-    std::fprintf(stderr, "error: no static main() entry point\n");
-    return 1;
-  }
+  const Program &P = S->program();
   if (DumpIR)
     std::printf("%s\n", printProgram(P).c_str());
 
-  RunConfig C;
-  if (Analysis == "ci")
-    C.Kind = AnalysisKind::CI;
-  else if (Analysis == "csc")
-    C.Kind = AnalysisKind::CSC;
-  else if (Analysis == "zipper")
-    C.Kind = AnalysisKind::ZipperE;
-  else if (Analysis == "2obj")
-    C.Kind = AnalysisKind::TwoObj;
-  else if (Analysis == "2type")
-    C.Kind = AnalysisKind::TwoType;
-  else if (Analysis == "2cs")
-    C.Kind = AnalysisKind::TwoCallSite;
-  else
+  AnalysisRun Run = S->run(Analysis);
+  if (Run.Status == RunStatus::SpecError) {
+    std::fprintf(stderr, "error: %s\n", Run.Error.c_str());
     return usage(Argv[0]);
-  C.DoopMode = DoopMode;
-  C.TimeBudgetMs = BudgetMs;
-
-  RunOutcome O = runAnalysis(P, C);
-  std::printf("analysis:     %s%s\n", analysisName(C.Kind),
-              DoopMode ? " (doop engine mode)" : "");
+  }
+  std::printf("analysis:     %s\n", Run.Name.c_str());
   std::printf("program:      %u classes, %u methods, %u statements\n",
               P.numTypes(), P.numMethods(), P.numStmts());
-  if (O.Exhausted) {
+  if (!Run.completed()) {
     std::printf("result:       budget exhausted\n");
     return 3;
   }
-  std::printf("time:         %.1f ms\n", O.TotalMs);
-  std::printf("#fail-cast:   %u\n", O.Metrics.FailCasts);
-  std::printf("#reach-mtd:   %u\n", O.Metrics.ReachMethods);
-  std::printf("#poly-call:   %u\n", O.Metrics.PolyCalls);
+  std::printf("time:         %.1f ms\n", Run.Timings.TotalMs);
+  std::printf("#fail-cast:   %u\n", Run.Metrics.FailCasts);
+  std::printf("#reach-mtd:   %u\n", Run.Metrics.ReachMethods);
+  std::printf("#poly-call:   %u\n", Run.Metrics.PolyCalls);
   std::printf("#call-edge:   %llu\n",
-              static_cast<unsigned long long>(O.Metrics.CallEdges));
+              static_cast<unsigned long long>(Run.Metrics.CallEdges));
   std::printf("pts work:     %llu insertions, %llu PFG edges\n",
-              static_cast<unsigned long long>(O.Result.Stats.PtsInsertions),
-              static_cast<unsigned long long>(O.Result.Stats.PFGEdges));
-  if (C.Kind == AnalysisKind::CSC)
+              static_cast<unsigned long long>(Run.Result.Stats.PtsInsertions),
+              static_cast<unsigned long long>(Run.Result.Stats.PFGEdges));
+  if (Run.Csc.CutStores || Run.Csc.ShortcutEdges)
     std::printf("cut-shortcut: %llu cut stores, %llu cut returns, %llu "
                 "shortcut edges, %zu involved methods\n",
-                static_cast<unsigned long long>(O.Csc.CutStores),
-                static_cast<unsigned long long>(O.Csc.CutReturns),
-                static_cast<unsigned long long>(O.Csc.ShortcutEdges),
-                O.Csc.Involved.size());
-  if (C.Kind == AnalysisKind::ZipperE)
+                static_cast<unsigned long long>(Run.Csc.CutStores),
+                static_cast<unsigned long long>(Run.Csc.CutReturns),
+                static_cast<unsigned long long>(Run.Csc.ShortcutEdges),
+                Run.Csc.Involved.size());
+  if (Run.SelectedMethods)
     std::printf("zipper-e:     %u selected methods, pre-analysis %.1f ms\n",
-                O.SelectedMethods, O.PreMs);
+                Run.SelectedMethods, Run.Timings.PreMs);
 
   if (DumpCG)
-    std::printf("%s", dumpCallGraphDot(P, O.Result).c_str());
+    std::printf("%s", dumpCallGraphDot(P, Run.Result).c_str());
   if (DumpPFG) {
     // The PFG lives inside the solver; re-run CI/CSC directly to dump it.
-    if (C.Kind != AnalysisKind::CI && C.Kind != AnalysisKind::CSC) {
-      std::fprintf(stderr,
-                   "--dump-pfg is supported for ci and csc only\n");
+    if (Analysis != "ci" && Analysis != "csc") {
+      std::fprintf(stderr, "--dump-pfg is supported for ci and csc only\n");
       return 2;
     }
     ContainerSpec Spec = ContainerSpec::forProgram(P);
     std::unique_ptr<CutShortcutPlugin> Plugin;
-    Solver S(P, {});
-    if (C.Kind == AnalysisKind::CSC) {
+    Solver Slv(P, {});
+    if (Analysis == "csc") {
       Plugin = std::make_unique<CutShortcutPlugin>(P, Spec);
-      S.addPlugin(Plugin.get());
+      Slv.addPlugin(Plugin.get());
     }
-    S.solve();
-    std::printf("%s", dumpPFGDot(S).c_str());
+    Slv.solve();
+    std::printf("%s", dumpPFGDot(Slv).c_str());
   }
   return 0;
 }

@@ -12,10 +12,8 @@
 //
 //===----------------------------------------------------------------------===//
 
-#include "client/AnalysisRunner.h"
-#include "frontend/Parser.h"
+#include "client/AnalysisSession.h"
 #include "ir/Printer.h"
-#include "stdlib/Stdlib.h"
 
 #include <cstdio>
 
@@ -95,8 +93,9 @@ class Main {
 }
 )";
 
-void report(const char *Label, const Program &P, const RunOutcome &O) {
-  std::vector<StmtId> Fails = mayFailCasts(P, O.Result);
+void report(const char *Label, const ResultView &View) {
+  const Program &P = View.program();
+  std::vector<StmtId> Fails = View.mayFailCasts();
   std::printf("%s: %zu of 3 downcasts may fail\n", Label, Fails.size());
   for (StmtId S : Fails)
     std::printf("  line %u: %s\n", P.stmt(S).Line,
@@ -106,27 +105,22 @@ void report(const char *Label, const Program &P, const RunOutcome &O) {
 } // namespace
 
 int main() {
-  Program P;
   std::vector<std::string> Diags;
-  if (!parseProgram(P, {{"<stdlib>", stdlibSource()},
-                        {"inventory.jir", InventoryApp}},
-                    Diags)) {
+  std::unique_ptr<AnalysisSession> S = AnalysisSession::fromSource(
+      "inventory.jir", InventoryApp, {}, Diags);
+  if (!S) {
     for (const std::string &D : Diags)
       std::fprintf(stderr, "%s\n", D.c_str());
     return 1;
   }
 
-  RunConfig CI;
-  CI.Kind = AnalysisKind::CI;
-  RunOutcome OCI = runAnalysis(P, CI);
-  report("context-insensitive", P, OCI);
+  AnalysisRun CI = S->run("ci");
+  report("context-insensitive", S->view(CI));
 
   std::printf("\n");
 
-  RunConfig CSC;
-  CSC.Kind = AnalysisKind::CSC;
-  RunOutcome OCSC = runAnalysis(P, CSC);
-  report("cut-shortcut       ", P, OCSC);
+  AnalysisRun Csc = S->run("csc");
+  report("cut-shortcut       ", S->view(Csc));
 
   std::printf("\nCut-Shortcut separates the two collections, proving the "
               "two clean casts safe\nwhile still flagging the genuine "

@@ -12,11 +12,8 @@
 //
 //===----------------------------------------------------------------------===//
 
-#include "client/AnalysisRunner.h"
-#include "client/Metrics.h"
-#include "frontend/Parser.h"
+#include "client/AnalysisSession.h"
 #include "ir/Printer.h"
-#include "stdlib/Stdlib.h"
 
 #include <cstdio>
 
@@ -87,19 +84,20 @@ class Main {
 }
 )";
 
-void report(const char *Label, const Program &P, const RunOutcome &O) {
-  std::vector<CallSiteId> Poly = polyCallSites(P, O.Result);
+void report(const char *Label, const ResultView &View) {
+  const Program &P = View.program();
+  std::vector<CallSiteId> Poly = View.polyCallSites();
   std::printf("%s: %u polymorphic call site(s)\n", Label,
               static_cast<uint32_t>(Poly.size()));
   for (CallSiteId CS = 0; CS < P.numCallSites(); ++CS) {
     const Stmt &S = P.stmt(P.callSite(CS).S);
-    if (S.IKind != InvokeKind::Virtual || !O.Result.isReachable(S.Method))
+    if (S.IKind != InvokeKind::Virtual || !View.isReachable(S.Method))
       continue;
     const std::string &Sig = P.subsigName(S.Subsig);
     if (Sig.rfind("handle/", 0) != 0)
       continue;
     std::printf("  %-34s ->", printStmt(P, P.callSite(CS).S).c_str());
-    for (MethodId M : O.Result.calleesOf(CS))
+    for (MethodId M : View.calleesAt(CS))
       std::printf(" %s", P.methodString(M).c_str());
     std::printf("\n");
   }
@@ -108,22 +106,17 @@ void report(const char *Label, const Program &P, const RunOutcome &O) {
 } // namespace
 
 int main() {
-  Program P;
   std::vector<std::string> Diags;
-  if (!parseProgram(P, {{"<stdlib>", stdlibSource()},
-                        {"registry.jir", RegistryApp}},
-                    Diags)) {
+  std::unique_ptr<AnalysisSession> S = AnalysisSession::fromSource(
+      "registry.jir", RegistryApp, {}, Diags);
+  if (!S) {
     for (const std::string &D : Diags)
       std::fprintf(stderr, "%s\n", D.c_str());
     return 1;
   }
 
-  for (AnalysisKind K :
-       {AnalysisKind::CI, AnalysisKind::CSC, AnalysisKind::TwoObj}) {
-    RunConfig C;
-    C.Kind = K;
-    RunOutcome O = runAnalysis(P, C);
-    report(analysisName(K), P, O);
+  for (const AnalysisRun &O : S->runAll("ci,csc,2obj")) {
+    report(O.Name.c_str(), S->view(O));
     std::printf("\n");
   }
 

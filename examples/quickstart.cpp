@@ -3,17 +3,16 @@
 // Part of the Cut-Shortcut pointer analysis reproduction.
 //
 // The paper's Figure 1 example, constructed through the programmatic
-// IRBuilder API (no text parsing), analyzed context-insensitively and with
-// Cut-Shortcut. Prints the points-to sets the paper discusses in §2.
+// IRBuilder API (no text parsing) and handed to an AnalysisSession, which
+// verifies it once and runs both analyses. Prints the points-to sets the
+// paper discusses in §2.
 //
-// Run: build/examples/quickstart
+// Run: build/examples/example_quickstart
 //
 //===----------------------------------------------------------------------===//
 
-#include "csc/CutShortcutPlugin.h"
+#include "client/AnalysisSession.h"
 #include "ir/IRBuilder.h"
-#include "pta/Solver.h"
-#include "stdlib/ContainerSpec.h"
 
 #include <cstdio>
 
@@ -24,12 +23,12 @@ namespace {
 /// Builds Figure 1: class Carton { Item item; setItem; getItem } plus a
 /// main storing and retrieving two items through two cartons.
 struct Figure1 {
-  Program P;
+  std::unique_ptr<Program> P = std::make_unique<Program>();
   VarId Result1, Result2, Item1, Item2;
   ObjId O16, O21;
 
   Figure1() {
-    IRBuilder B(P);
+    IRBuilder B(*P);
     TypeId Item = B.cls("Item");
     TypeId Carton = B.cls("Carton");
     FieldId ItemF = B.field(Carton, "item", Item);
@@ -59,10 +58,10 @@ struct Figure1 {
     StmtId NewItem2 = Main.newObj(Item2, Item);
     Main.callVirtual(InvalidId, C2, "setItem", {Item2});
     Main.callVirtual(Result2, C2, "getItem", {});
-    P.setEntry(Main.method());
+    P->setEntry(Main.method());
 
-    O16 = P.stmt(NewItem1).Obj;
-    O21 = P.stmt(NewItem2).Obj;
+    O16 = P->stmt(NewItem1).Obj;
+    O21 = P->stmt(NewItem2).Obj;
   }
 };
 
@@ -82,31 +81,38 @@ void printPts(const Program &P, const char *Name, const PointsToSet &S) {
 int main() {
   Figure1 Fig;
 
+  // IRBuilder handoff: the session takes ownership and verifies once.
+  std::vector<std::string> Diags;
+  std::unique_ptr<AnalysisSession> S =
+      AnalysisSession::adopt(std::move(Fig.P), {}, Diags);
+  if (!S) {
+    for (const std::string &D : Diags)
+      std::fprintf(stderr, "%s\n", D.c_str());
+    return 1;
+  }
+  const Program &P = S->program();
+
   std::printf("=== Context-insensitive analysis (Fig. 1a) ===\n");
   {
-    Solver S(Fig.P, {});
-    PTAResult R = S.solve();
-    printPts(Fig.P, "result1", R.pt(Fig.Result1));
-    printPts(Fig.P, "result2", R.pt(Fig.Result2));
+    AnalysisRun CI = S->run("ci");
+    ResultView View = S->view(CI);
+    printPts(P, "result1", View.pointsTo(Fig.Result1));
+    printPts(P, "result2", View.pointsTo(Fig.Result2));
     std::printf("  -> the two cartons' items are merged (imprecise)\n\n");
   }
 
   std::printf("=== Cut-Shortcut (Fig. 1b) ===\n");
   {
-    ContainerSpec Spec = ContainerSpec::forProgram(Fig.P);
-    CutShortcutPlugin Plugin(Fig.P, Spec);
-    Solver S(Fig.P, {});
-    S.addPlugin(&Plugin);
-    PTAResult R = S.solve();
-    printPts(Fig.P, "result1", R.pt(Fig.Result1));
-    printPts(Fig.P, "result2", R.pt(Fig.Result2));
+    AnalysisRun Csc = S->run("csc");
+    ResultView View = S->view(Csc);
+    printPts(P, "result1", View.pointsTo(Fig.Result1));
+    printPts(P, "result2", View.pointsTo(Fig.Result2));
     std::printf("  -> context-sensitive precision without contexts:\n");
     std::printf("     %llu store edge(s) cut, %llu return cut(s), "
                 "%llu shortcut edge(s)\n",
-                static_cast<unsigned long long>(Plugin.stats().CutStores),
-                static_cast<unsigned long long>(Plugin.stats().CutReturns),
-                static_cast<unsigned long long>(
-                    Plugin.stats().ShortcutEdges));
+                static_cast<unsigned long long>(Csc.Csc.CutStores),
+                static_cast<unsigned long long>(Csc.Csc.CutReturns),
+                static_cast<unsigned long long>(Csc.Csc.ShortcutEdges));
   }
   return 0;
 }

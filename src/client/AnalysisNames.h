@@ -1,0 +1,47 @@
+//===- AnalysisNames.h - Kind enum and its one name table -------*- C++ -*-===//
+//
+// Part of the Cut-Shortcut pointer analysis reproduction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The analysis-kind enum of the evaluation and the single kind<->name
+/// table shared by analysisName(), parseAnalysisKind() and the registry's
+/// built-in registrations — so the enum and the strings can never drift.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CSC_CLIENT_ANALYSISNAMES_H
+#define CSC_CLIENT_ANALYSISNAMES_H
+
+#include <cstddef>
+#include <string_view>
+
+namespace csc {
+
+enum class AnalysisKind { CI, CSC, ZipperE, TwoObj, TwoType, TwoCallSite };
+
+/// One row of the kind<->name table: the canonical spec name, accepted
+/// aliases (all matched case-insensitively), and the registry description
+/// — everything about a kind lives in this one row.
+struct AnalysisNameEntry {
+  AnalysisKind Kind;
+  const char *Canonical;
+  const char *Aliases[3]; ///< Null-terminated; fewer than 3 allowed.
+  const char *Description;
+};
+
+/// The shared table, in enum order.
+const AnalysisNameEntry *analysisNameTable(size_t &Count);
+
+/// Canonical spec name of a kind ("ci", "csc", "zipper-e", "2obj",
+/// "2type", "2cs").
+const char *analysisName(AnalysisKind K);
+
+/// Parses a canonical name or alias (case-insensitive) back to its kind.
+/// Returns false if \p Name matches no table row.
+bool parseAnalysisKind(std::string_view Name, AnalysisKind &Out);
+
+} // namespace csc
+
+#endif // CSC_CLIENT_ANALYSISNAMES_H

@@ -1,4 +1,4 @@
-//===- AnalysisRunner.cpp - One-call façade for every analysis ------------===//
+//===- AnalysisRunner.cpp - Deprecated one-call façade --------------------===//
 //
 // Part of the Cut-Shortcut pointer analysis reproduction.
 //
@@ -6,101 +6,30 @@
 
 #include "client/AnalysisRunner.h"
 
-#include "pta/ContextSelector.h"
-#include "pta/Solver.h"
-#include "stdlib/ContainerSpec.h"
-#include "support/Timer.h"
-
-#include <memory>
-
 using namespace csc;
 
-const char *csc::analysisName(AnalysisKind K) {
-  switch (K) {
-  case AnalysisKind::CI:
-    return "CI";
-  case AnalysisKind::CSC:
-    return "CSC";
-  case AnalysisKind::ZipperE:
-    return "Zipper-e";
-  case AnalysisKind::TwoObj:
-    return "2obj";
-  case AnalysisKind::TwoType:
-    return "2type";
-  case AnalysisKind::TwoCallSite:
-    return "2cs";
-  }
-  return "?";
+AnalysisRecipe csc::recipeFor(const RunConfig &C) {
+  ZipperOptions Z = C.Zipper;
+  Z.K = C.K;
+  AnalysisRecipe R = makeKindRecipe(C.Kind, C.K, C.DoopMode, Z, C.Csc);
+  return R;
 }
 
 RunOutcome csc::runAnalysis(const Program &P, const RunConfig &C) {
+  AnalysisSession::Options SO;
+  SO.WorkBudget = C.WorkBudget;
+  SO.TimeBudgetMs = C.TimeBudgetMs;
+  AnalysisSession S(P, std::move(SO));
+  AnalysisRun Run = S.run(recipeFor(C));
+
   RunOutcome Out;
-  Timer Total;
-
-  SolverOptions SOpts;
-  SOpts.DeltaPropagation = !C.DoopMode;
-  SOpts.WorkBudget = C.WorkBudget;
-  SOpts.TimeBudgetMs = C.TimeBudgetMs;
-
-  std::unique_ptr<ContextSelector> Inner;
-  std::unique_ptr<SelectiveSelector> Selective;
-  std::unique_ptr<CutShortcutPlugin> Plugin;
-  ContainerSpec Spec;
-
-  switch (C.Kind) {
-  case AnalysisKind::CI:
-    break;
-  case AnalysisKind::CSC: {
-    Spec = ContainerSpec::forProgram(P);
-    CutShortcutOptions Opts = C.Csc;
-    if (C.DoopMode)
-      Opts.FieldLoad = false; // Datalog cannot express [CutPropLoad].
-    Plugin = std::make_unique<CutShortcutPlugin>(P, Spec, Opts);
-    break;
-  }
-  case AnalysisKind::ZipperE: {
-    ZipperOptions ZOpts = C.Zipper;
-    ZOpts.K = C.K;
-    ZOpts.PreWorkBudget = C.WorkBudget;
-    ZipperSelection Sel = runZipperSelection(P, ZOpts);
-    Out.PreMs = Sel.PreAnalysisMs;
-    Out.SelectedMethods = static_cast<uint32_t>(Sel.Selected.size());
-    if (Sel.PreExhausted) {
-      Out.Exhausted = true;
-      Out.TotalMs = Total.elapsedMs();
-      return Out;
-    }
-    Inner = std::make_unique<KObjSelector>(C.K);
-    Selective = std::make_unique<SelectiveSelector>(*Inner,
-                                                    std::move(Sel.Selected));
-    SOpts.Selector = Selective.get();
-    break;
-  }
-  case AnalysisKind::TwoObj:
-    Inner = std::make_unique<KObjSelector>(C.K);
-    SOpts.Selector = Inner.get();
-    break;
-  case AnalysisKind::TwoType:
-    Inner = std::make_unique<KTypeSelector>(C.K);
-    SOpts.Selector = Inner.get();
-    break;
-  case AnalysisKind::TwoCallSite:
-    Inner = std::make_unique<KCallSiteSelector>(C.K);
-    SOpts.Selector = Inner.get();
-    break;
-  }
-
-  Timer Main;
-  Solver S(P, SOpts);
-  if (Plugin)
-    S.addPlugin(Plugin.get());
-  Out.Result = S.solve();
-  Out.MainMs = Main.elapsedMs();
-  Out.Exhausted = Out.Result.Exhausted;
-  if (Plugin)
-    Out.Csc = Plugin->stats();
-  if (!Out.Exhausted)
-    Out.Metrics = computeMetrics(P, Out.Result);
-  Out.TotalMs = Total.elapsedMs();
+  Out.Result = std::move(Run.Result);
+  Out.Metrics = Run.Metrics;
+  Out.TotalMs = Run.Timings.TotalMs;
+  Out.PreMs = Run.Timings.PreMs;
+  Out.MainMs = Run.Timings.MainMs;
+  Out.Exhausted = Run.exhausted();
+  Out.SelectedMethods = Run.SelectedMethods;
+  Out.Csc = Run.Csc;
   return Out;
 }

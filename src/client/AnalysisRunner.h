@@ -1,24 +1,28 @@
-//===- AnalysisRunner.h - One-call façade for every analysis ----*- C++ -*-===//
+//===- AnalysisRunner.h - Deprecated one-call façade ------------*- C++ -*-===//
 //
 // Part of the Cut-Shortcut pointer analysis reproduction.
 //
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// Runs any of the evaluated analyses (CI, Cut-Shortcut, Zipper-e, 2obj,
-/// 2type, 2cs) on a program and returns results, metrics and timing — the
-/// entry point used by the benchmark harnesses and the examples.
+/// The original one-shot entry point, kept as a thin deprecated wrapper
+/// over the session/registry API so external callers keep compiling during
+/// migration. New code should use AnalysisSession (parse once, run many
+/// registered analyses, query results through ResultView):
 ///
-/// "Doop mode" switches the engine to full re-propagation and disables the
-/// Cut-Shortcut load handling, emulating the paper's Datalog framework
-/// (Table 1); the default "Tai-e mode" is incremental with the full plugin
-/// (Table 2).
+/// \code
+///   AnalysisSession S(P);                 // or ::fromSources / ::adopt
+///   AnalysisRun Run = S.run("csc");       // any registered spec
+///   if (Run.completed()) use(S.view(Run), Run.Metrics);
+/// \endcode
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef CSC_CLIENT_ANALYSISRUNNER_H
 #define CSC_CLIENT_ANALYSISRUNNER_H
 
+#include "client/AnalysisNames.h"
+#include "client/AnalysisSession.h"
 #include "client/Metrics.h"
 #include "csc/CutShortcutPlugin.h"
 #include "pta/PTAResult.h"
@@ -27,10 +31,6 @@
 #include <string>
 
 namespace csc {
-
-enum class AnalysisKind { CI, CSC, ZipperE, TwoObj, TwoType, TwoCallSite };
-
-const char *analysisName(AnalysisKind K);
 
 struct RunConfig {
   AnalysisKind Kind = AnalysisKind::CI;
@@ -55,8 +55,14 @@ struct RunOutcome {
   CutShortcutStats Csc;         ///< Cut-Shortcut statistics.
 };
 
+/// The recipe a RunConfig maps to — useful while migrating callers that
+/// carry full option structs onto AnalysisSession::run.
+AnalysisRecipe recipeFor(const RunConfig &C);
+
 /// Runs the configured analysis; never throws. If the work budget is hit,
 /// Outcome.Exhausted is true and metrics are not meaningful.
+[[deprecated("use AnalysisSession::run over an AnalysisRegistry spec; see "
+             "docs/ARCHITECTURE.md")]]
 RunOutcome runAnalysis(const Program &P, const RunConfig &C);
 
 } // namespace csc

@@ -1,0 +1,245 @@
+//===- AnalysisSession.cpp - Parse once, analyze many times ---------------===//
+//
+// Part of the Cut-Shortcut pointer analysis reproduction.
+//
+//===----------------------------------------------------------------------===//
+
+#include "client/AnalysisSession.h"
+
+#include "frontend/Parser.h"
+#include "ir/Verifier.h"
+#include "pta/Solver.h"
+#include "stdlib/ContainerSpec.h"
+#include "stdlib/Stdlib.h"
+#include "support/Timer.h"
+
+#include <fstream>
+#include <sstream>
+
+using namespace csc;
+
+const char *csc::runStatusName(RunStatus S) {
+  switch (S) {
+  case RunStatus::Completed:
+    return "completed";
+  case RunStatus::BudgetExhausted:
+    return "budget-exhausted";
+  case RunStatus::SpecError:
+    return "spec-error";
+  }
+  return "?";
+}
+
+AnalysisSession::AnalysisSession(const Program &P, Options O)
+    : P(&P), Opts(std::move(O)) {}
+
+AnalysisSession::AnalysisSession(std::unique_ptr<Program> OwnedP, Options O)
+    : P(OwnedP.get()), Owned(std::move(OwnedP)), Opts(std::move(O)) {}
+
+const AnalysisRegistry &AnalysisSession::registry() const {
+  return Opts.Registry ? *Opts.Registry : AnalysisRegistry::global();
+}
+
+//===----------------------------------------------------------------------===//
+// Construction from sources / files / built programs
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Verifies \p P and requires an entry point; appends to \p Diags.
+bool verifyForSession(const Program &P, std::vector<std::string> &Diags) {
+  std::vector<std::string> Errors = verifyProgram(P);
+  for (const std::string &E : Errors)
+    Diags.push_back("verifier: " + E);
+  if (!Errors.empty())
+    return false;
+  if (P.entry() == InvalidId) {
+    Diags.push_back("error: no static main() entry point");
+    return false;
+  }
+  return true;
+}
+
+} // namespace
+
+std::unique_ptr<AnalysisSession>
+AnalysisSession::adopt(std::unique_ptr<Program> Prog, Options O,
+                       std::vector<std::string> &Diags) {
+  if (!Prog) {
+    Diags.push_back("error: adopt() called with a null program");
+    return nullptr;
+  }
+  Timer V;
+  if (!verifyForSession(*Prog, Diags))
+    return nullptr;
+  auto S = std::unique_ptr<AnalysisSession>(
+      new AnalysisSession(std::move(Prog), std::move(O)));
+  S->VerifyMsV = V.elapsedMs();
+  return S;
+}
+
+std::unique_ptr<AnalysisSession> AnalysisSession::fromSources(
+    const std::vector<std::pair<std::string, std::string>> &Named, Options O,
+    std::vector<std::string> &Diags) {
+  auto Prog = std::make_unique<Program>();
+  std::vector<std::pair<std::string, std::string>> All;
+  if (O.WithStdlib)
+    All.emplace_back("<stdlib>", stdlibSource());
+  All.insert(All.end(), Named.begin(), Named.end());
+
+  if (O.Progress)
+    O.Progress("parse", std::to_string(All.size()) + " source(s)");
+  Timer ParseT;
+  if (!parseProgram(*Prog, All, Diags))
+    return nullptr;
+  double ParseMs = ParseT.elapsedMs();
+
+  if (O.Progress)
+    O.Progress("verify", "");
+  Timer VerifyT;
+  if (!verifyForSession(*Prog, Diags))
+    return nullptr;
+  double VerifyMs = VerifyT.elapsedMs();
+
+  auto S = std::unique_ptr<AnalysisSession>(
+      new AnalysisSession(std::move(Prog), std::move(O)));
+  S->ParseMsV = ParseMs;
+  S->VerifyMsV = VerifyMs;
+  return S;
+}
+
+std::unique_ptr<AnalysisSession>
+AnalysisSession::fromSource(const std::string &Name, const std::string &Text,
+                            Options O, std::vector<std::string> &Diags) {
+  return fromSources({{Name, Text}}, std::move(O), Diags);
+}
+
+std::unique_ptr<AnalysisSession>
+AnalysisSession::fromFiles(const std::vector<std::string> &Paths, Options O,
+                           std::vector<std::string> &Diags) {
+  std::vector<std::pair<std::string, std::string>> Named;
+  for (const std::string &Path : Paths) {
+    std::ifstream In(Path);
+    if (!In) {
+      Diags.push_back("error: cannot open '" + Path + "'");
+      return nullptr;
+    }
+    std::ostringstream Buf;
+    Buf << In.rdbuf();
+    Named.emplace_back(Path, Buf.str());
+  }
+  if (Named.empty()) {
+    Diags.push_back("error: no input files");
+    return nullptr;
+  }
+  return fromSources(Named, std::move(O), Diags);
+}
+
+//===----------------------------------------------------------------------===//
+// Running analyses
+//===----------------------------------------------------------------------===//
+
+const ZipperSelection &
+AnalysisSession::zipperSelection(const ZipperOptions &ZOpts,
+                                 bool *FromCache) {
+  ZipperKey Key{ZOpts.K, ZOpts.CostFraction, ZOpts.MinCostFloor,
+                ZOpts.PreWorkBudget};
+  for (auto &[K, Sel] : ZipperCache)
+    if (K == Key) {
+      if (FromCache)
+        *FromCache = true;
+      return Sel;
+    }
+  progress("zipper-pre", "k=" + std::to_string(ZOpts.K));
+  ZipperCache.emplace_back(Key, runZipperSelection(*P, ZOpts));
+  if (FromCache)
+    *FromCache = false;
+  return ZipperCache.back().second;
+}
+
+AnalysisRun AnalysisSession::run(const std::string &SpecText) {
+  AnalysisRecipe Recipe;
+  std::string Error;
+  if (!registry().build(SpecText, Recipe, Error)) {
+    AnalysisRun Out;
+    Out.Name = SpecText;
+    Out.Status = RunStatus::SpecError;
+    Out.Error = Error;
+    return Out;
+  }
+  return run(Recipe);
+}
+
+std::vector<AnalysisRun> AnalysisSession::runAll(const std::string &SpecList) {
+  std::vector<AnalysisRun> Out;
+  for (const std::string &Spec : splitSpecList(SpecList))
+    Out.push_back(run(Spec));
+  return Out;
+}
+
+AnalysisRun AnalysisSession::run(const AnalysisRecipe &Recipe) {
+  AnalysisRun Out;
+  Out.Name = Recipe.Name;
+  Timer Total;
+
+  SolverOptions SOpts;
+  SOpts.DeltaPropagation = !Recipe.DoopMode;
+  SOpts.WorkBudget = Opts.WorkBudget;
+  SOpts.TimeBudgetMs = Opts.TimeBudgetMs;
+
+  std::unique_ptr<ContextSelector> Inner;
+  std::unique_ptr<SelectiveSelector> Selective;
+  std::unique_ptr<CutShortcutPlugin> Plugin;
+  ContainerSpec Spec;
+
+  if (Recipe.MakeSelector)
+    Inner = Recipe.MakeSelector();
+
+  if (Recipe.UseZipper) {
+    ZipperOptions ZOpts = Recipe.Zipper;
+    ZOpts.PreWorkBudget = Opts.WorkBudget;
+    bool FromCache = false;
+    const ZipperSelection &Sel = zipperSelection(ZOpts, &FromCache);
+    Out.Timings.PreMs = Sel.PreAnalysisMs;
+    Out.PreFromCache = FromCache;
+    Out.SelectedMethods = static_cast<uint32_t>(Sel.Selected.size());
+    if (Sel.PreExhausted) {
+      Out.Status = RunStatus::BudgetExhausted;
+      Out.Timings.TotalMs = Total.elapsedMs();
+      return Out;
+    }
+    if (!Inner)
+      Inner = std::make_unique<KObjSelector>(ZOpts.K);
+    Selective = std::make_unique<SelectiveSelector>(*Inner, Sel.Selected);
+    SOpts.Selector = Selective.get();
+  } else if (Inner && Recipe.SelectOnly) {
+    Selective =
+        std::make_unique<SelectiveSelector>(*Inner, *Recipe.SelectOnly);
+    SOpts.Selector = Selective.get();
+  } else if (Inner) {
+    SOpts.Selector = Inner.get();
+  }
+
+  if (Recipe.UseCsc) {
+    Spec = ContainerSpec::forProgram(*P);
+    Plugin = std::make_unique<CutShortcutPlugin>(*P, Spec, Recipe.Csc);
+  }
+
+  progress("solve", Recipe.Name);
+  Timer Main;
+  Solver S(*P, SOpts);
+  if (Plugin)
+    S.addPlugin(Plugin.get());
+  Out.Result = S.solve();
+  Out.Timings.MainMs = Main.elapsedMs();
+  if (Plugin)
+    Out.Csc = Plugin->stats();
+  if (Out.Result.Exhausted) {
+    Out.Status = RunStatus::BudgetExhausted;
+  } else {
+    progress("metrics", Recipe.Name);
+    Out.Metrics = computeMetrics(*P, Out.Result);
+  }
+  Out.Timings.TotalMs = Total.elapsedMs();
+  return Out;
+}

@@ -1,0 +1,167 @@
+//===- AnalysisSession.h - Parse once, analyze many times -------*- C++ -*-===//
+//
+// Part of the Cut-Shortcut pointer analysis reproduction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The client-facing entry point: a session owns (or borrows) one verified
+/// Program and runs any number of registered analyses over it. Compared to
+/// the deprecated one-shot runAnalysis façade it adds
+///
+///  * spec-string dispatch through an AnalysisRegistry ("csc",
+///    "k-type;k=3", "zipper-e;pv=0.05", ...),
+///  * caching of the Zipper-e pre-analysis across runs,
+///  * structured phase timings, optional progress callbacks, and an
+///    explicit run status (Completed / BudgetExhausted / SpecError)
+///    instead of metrics that are silently "not meaningful",
+///  * a ResultView query layer over each run's PTAResult.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CSC_CLIENT_ANALYSISSESSION_H
+#define CSC_CLIENT_ANALYSISSESSION_H
+
+#include "client/AnalysisRegistry.h"
+#include "client/Metrics.h"
+#include "client/ResultView.h"
+#include "csc/CutShortcutPlugin.h"
+#include "ir/Program.h"
+#include "pta/PTAResult.h"
+#include "zipper/Zipper.h"
+
+#include <deque>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace csc {
+
+enum class RunStatus {
+  Completed,       ///< Fixpoint reached; metrics are meaningful.
+  BudgetExhausted, ///< Work/time budget hit; metrics are NOT populated.
+  SpecError,       ///< The spec did not name a buildable analysis.
+};
+
+const char *runStatusName(RunStatus S);
+
+struct PhaseTimings {
+  double PreMs = 0;  ///< Zipper-e pre-analysis + selection.
+  double MainMs = 0; ///< Main (solver) analysis.
+  double TotalMs = 0;
+};
+
+/// The result of one analysis run over the session's program.
+struct AnalysisRun {
+  std::string Name; ///< The spec the run was built from.
+  RunStatus Status = RunStatus::Completed;
+  std::string Error; ///< Populated for SpecError.
+  PTAResult Result;
+  PrecisionMetrics Metrics; ///< Valid only when completed().
+  PhaseTimings Timings;
+  bool PreFromCache = false; ///< Zipper pre-analysis reused from cache.
+  uint32_t SelectedMethods = 0; ///< Zipper-e selection size.
+  CutShortcutStats Csc;         ///< Cut-Shortcut statistics.
+
+  bool completed() const { return Status == RunStatus::Completed; }
+  bool exhausted() const { return Status == RunStatus::BudgetExhausted; }
+};
+
+/// Phase callback: ("parse"|"verify"|"zipper-pre"|"solve"|"metrics",
+/// detail). Invoked synchronously at phase starts.
+using ProgressFn = std::function<void(const char *Phase,
+                                      const std::string &Detail)>;
+
+class AnalysisSession {
+public:
+  struct Options {
+    bool WithStdlib = true; ///< Prepend the modelled stdlib when parsing.
+    /// Work budget (points-to insertions) emulating the paper's timeout.
+    uint64_t WorkBudget = ~0ULL;
+    double TimeBudgetMs = 0; ///< Wall-clock cap per run (0 = unlimited).
+    ProgressFn Progress;
+    const AnalysisRegistry *Registry = nullptr; ///< Null = global().
+  };
+
+  /// Borrows an already-built (and externally verified) program.
+  explicit AnalysisSession(const Program &P) : P(&P) {}
+  AnalysisSession(const Program &P, Options O);
+
+  /// Takes ownership of a built program (IRBuilder handoff); verifies it.
+  /// Returns null with \p Diags filled on verification failure.
+  static std::unique_ptr<AnalysisSession>
+  adopt(std::unique_ptr<Program> P, Options O, std::vector<std::string> &Diags);
+
+  /// Parses named `.jir` sources (stdlib prepended unless disabled),
+  /// verifies, and checks for an entry point.
+  static std::unique_ptr<AnalysisSession>
+  fromSources(const std::vector<std::pair<std::string, std::string>> &Named,
+              Options O, std::vector<std::string> &Diags);
+  static std::unique_ptr<AnalysisSession>
+  fromSource(const std::string &Name, const std::string &Text, Options O,
+             std::vector<std::string> &Diags);
+  /// Reads and parses `.jir` files from disk.
+  static std::unique_ptr<AnalysisSession>
+  fromFiles(const std::vector<std::string> &Paths, Options O,
+            std::vector<std::string> &Diags);
+
+  const Program &program() const { return *P; }
+  const Options &options() const { return Opts; }
+  void setWorkBudget(uint64_t B) { Opts.WorkBudget = B; }
+  void setTimeBudgetMs(double Ms) { Opts.TimeBudgetMs = Ms; }
+  const AnalysisRegistry &registry() const;
+
+  double parseMs() const { return ParseMsV; }
+  double verifyMs() const { return VerifyMsV; }
+
+  /// Runs one analysis named by a spec string. A bad spec yields a run
+  /// with Status == SpecError and the message in Error.
+  AnalysisRun run(const std::string &SpecText);
+  /// Runs a pre-built recipe.
+  AnalysisRun run(const AnalysisRecipe &Recipe);
+  /// Runs every spec of a comma-separated list, in order.
+  std::vector<AnalysisRun> runAll(const std::string &SpecList);
+
+  /// Query view over a run's result.
+  ResultView view(const AnalysisRun &Run) const {
+    return ResultView(*P, Run.Result);
+  }
+
+  /// The Zipper-e pre-analysis for \p ZOpts, computed on first use and
+  /// cached across runs (keyed on k / cost fraction / floor / budget).
+  const ZipperSelection &zipperSelection(const ZipperOptions &ZOpts,
+                                         bool *FromCache = nullptr);
+
+private:
+  AnalysisSession(std::unique_ptr<Program> Owned, Options O);
+
+  void progress(const char *Phase, const std::string &Detail) const {
+    if (Opts.Progress)
+      Opts.Progress(Phase, Detail);
+  }
+
+  const Program *P = nullptr;
+  std::unique_ptr<Program> Owned;
+  Options Opts;
+  double ParseMsV = 0;
+  double VerifyMsV = 0;
+
+  struct ZipperKey {
+    unsigned K;
+    double CostFraction;
+    uint64_t MinCostFloor;
+    uint64_t PreWorkBudget;
+    bool operator==(const ZipperKey &O) const {
+      return K == O.K && CostFraction == O.CostFraction &&
+             MinCostFloor == O.MinCostFloor &&
+             PreWorkBudget == O.PreWorkBudget;
+    }
+  };
+  // deque: cached selections must stay address-stable across inserts.
+  std::deque<std::pair<ZipperKey, ZipperSelection>> ZipperCache;
+};
+
+} // namespace csc
+
+#endif // CSC_CLIENT_ANALYSISSESSION_H

@@ -1,0 +1,43 @@
+//===- Report.h - JSON serialization of analysis runs -----------*- C++ -*-===//
+//
+// Part of the Cut-Shortcut pointer analysis reproduction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Machine-readable reports: serializes metrics, solver statistics, phase
+/// timings and whole analysis runs to JSON. Shared by the cscpta driver
+/// and the bench harnesses' --json output.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CSC_CLIENT_REPORT_H
+#define CSC_CLIENT_REPORT_H
+
+#include "client/AnalysisSession.h"
+#include "support/Json.h"
+
+#include <string>
+
+namespace csc {
+
+/// Appends {"fail_casts":..,"reach_methods":..,...} (one object).
+void appendMetricsJson(JsonWriter &J, const PrecisionMetrics &M);
+
+/// Appends the solver work counters (one object).
+void appendStatsJson(JsonWriter &J, const SolverStats &S);
+
+/// Appends one run as an object: name, status, timings, and — when the
+/// run completed — metrics, stats, and per-analysis extras (cut/shortcut
+/// statistics, Zipper selection size).
+void appendRunJson(JsonWriter &J, const AnalysisRun &Run);
+
+/// Appends a program summary object (classes/methods/stmts/...).
+void appendProgramSummaryJson(JsonWriter &J, const Program &P);
+
+/// One run as a standalone JSON document.
+std::string runJson(const AnalysisRun &Run);
+
+} // namespace csc
+
+#endif // CSC_CLIENT_REPORT_H

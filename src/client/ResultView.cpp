@@ -1,0 +1,67 @@
+//===- ResultView.cpp - Query API over one analysis result ----------------===//
+//
+// Part of the Cut-Shortcut pointer analysis reproduction.
+//
+//===----------------------------------------------------------------------===//
+
+#include "client/ResultView.h"
+
+#include "client/Metrics.h"
+
+#include <algorithm>
+
+using namespace csc;
+
+std::vector<CallSiteId> ResultView::callSitesIn(MethodId M) const {
+  std::vector<CallSiteId> Out;
+  for (CallSiteId CS = 0; CS < P.numCallSites(); ++CS)
+    if (P.callSite(CS).Caller == M)
+      Out.push_back(CS);
+  return Out;
+}
+
+std::vector<MethodId> ResultView::reachableMethods() const {
+  std::vector<MethodId> Out(R.reachableMethods().begin(),
+                            R.reachableMethods().end());
+  std::sort(Out.begin(), Out.end());
+  return Out;
+}
+
+std::vector<StmtId> ResultView::mayFailCasts() const {
+  return csc::mayFailCasts(P, R);
+}
+
+std::vector<CallSiteId> ResultView::polyCallSites() const {
+  return csc::polyCallSites(P, R);
+}
+
+MethodId ResultView::findMethod(std::string_view Qualified) const {
+  size_t Dot = Qualified.rfind('.');
+  if (Dot == std::string_view::npos)
+    return InvalidId;
+  TypeId T = P.typeByName(std::string(Qualified.substr(0, Dot)));
+  if (T == InvalidId)
+    return InvalidId;
+  std::string_view Name = Qualified.substr(Dot + 1);
+  for (MethodId M : P.type(T).Methods)
+    if (P.method(M).Name == Name)
+      return M;
+  return InvalidId;
+}
+
+VarId ResultView::findVar(MethodId M, std::string_view Name) const {
+  if (M == InvalidId)
+    return InvalidId;
+  for (VarId V : P.method(M).Vars)
+    if (P.var(V).Name == Name)
+      return V;
+  return InvalidId;
+}
+
+VarId ResultView::findVar(std::string_view Qualified) const {
+  size_t Dot = Qualified.rfind('.');
+  if (Dot == std::string_view::npos)
+    return InvalidId;
+  return findVar(findMethod(Qualified.substr(0, Dot)),
+                 Qualified.substr(Dot + 1));
+}

@@ -1,0 +1,180 @@
+//===- Json.h - Minimal JSON writer -----------------------------*- C++ -*-===//
+//
+// Part of the Cut-Shortcut pointer analysis reproduction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small, dependency-free JSON emitter used by the result query layer,
+/// the cscpta driver and the bench harnesses. Keys are emitted in call
+/// order; numbers use shortest-round-trip-ish %.10g formatting. The writer
+/// validates nesting with asserts only — callers are trusted to emit
+/// well-formed documents (the unit tests check balance explicitly).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CSC_SUPPORT_JSON_H
+#define CSC_SUPPORT_JSON_H
+
+#include <cassert>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace csc {
+
+/// Escapes \p S for inclusion in a JSON string literal (no quotes added).
+inline std::string jsonEscape(std::string_view S) {
+  std::string Out;
+  Out.reserve(S.size());
+  for (unsigned char C : S) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\r':
+      Out += "\\r";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    default:
+      if (C < 0x20) {
+        char Buf[8];
+        std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
+        Out += Buf;
+      } else {
+        Out += static_cast<char>(C);
+      }
+    }
+  }
+  return Out;
+}
+
+/// Streaming JSON document builder.
+class JsonWriter {
+public:
+  JsonWriter &beginObject() {
+    beforeValue();
+    Out += '{';
+    Stack.push_back(false);
+    return *this;
+  }
+  JsonWriter &endObject() {
+    assert(!Stack.empty() && !AfterKey);
+    Stack.pop_back();
+    Out += '}';
+    return *this;
+  }
+  JsonWriter &beginArray() {
+    beforeValue();
+    Out += '[';
+    Stack.push_back(false);
+    return *this;
+  }
+  JsonWriter &endArray() {
+    assert(!Stack.empty() && !AfterKey);
+    Stack.pop_back();
+    Out += ']';
+    return *this;
+  }
+
+  JsonWriter &key(std::string_view K) {
+    assert(!Stack.empty() && !AfterKey);
+    comma();
+    Out += '"';
+    Out += jsonEscape(K);
+    Out += "\":";
+    AfterKey = true;
+    return *this;
+  }
+
+  JsonWriter &value(std::string_view V) {
+    beforeValue();
+    Out += '"';
+    Out += jsonEscape(V);
+    Out += '"';
+    return *this;
+  }
+  JsonWriter &value(const char *V) { return value(std::string_view(V)); }
+  JsonWriter &value(const std::string &V) {
+    return value(std::string_view(V));
+  }
+  JsonWriter &value(bool V) {
+    beforeValue();
+    Out += V ? "true" : "false";
+    return *this;
+  }
+  JsonWriter &value(double V) {
+    beforeValue();
+    char Buf[40];
+    std::snprintf(Buf, sizeof(Buf), "%.10g", V);
+    Out += Buf;
+    return *this;
+  }
+  JsonWriter &value(uint64_t V) {
+    beforeValue();
+    Out += std::to_string(V);
+    return *this;
+  }
+  JsonWriter &value(int64_t V) {
+    beforeValue();
+    Out += std::to_string(V);
+    return *this;
+  }
+  JsonWriter &value(uint32_t V) { return value(static_cast<uint64_t>(V)); }
+  JsonWriter &value(int V) { return value(static_cast<int64_t>(V)); }
+  JsonWriter &null() {
+    beforeValue();
+    Out += "null";
+    return *this;
+  }
+
+  /// Convenience: key + scalar value in one call.
+  template <typename T> JsonWriter &kv(std::string_view K, const T &V) {
+    key(K);
+    return value(V);
+  }
+
+  /// True once every container opened has been closed.
+  bool balanced() const { return Stack.empty() && !AfterKey; }
+
+  const std::string &str() const {
+    assert(balanced());
+    return Out;
+  }
+  std::string take() {
+    assert(balanced());
+    return std::move(Out);
+  }
+
+private:
+  void comma() {
+    if (!Stack.empty() && Stack.back())
+      Out += ',';
+    if (!Stack.empty())
+      Stack.back() = true;
+  }
+  void beforeValue() {
+    if (AfterKey)
+      AfterKey = false;
+    else
+      comma();
+  }
+
+  std::string Out;
+  std::vector<bool> Stack; ///< Per container: an element was emitted.
+  bool AfterKey = false;
+};
+
+} // namespace csc
+
+#endif // CSC_SUPPORT_JSON_H

@@ -1,18 +1,18 @@
-//===- EndToEndSmokeTest.cpp - AnalysisRunner end-to-end smoke ------------===//
+//===- EndToEndSmokeTest.cpp - AnalysisSession end-to-end smoke -----------===//
 //
 // Part of the Cut-Shortcut pointer analysis reproduction.
 //
 // Runs the full parse -> verify -> analyze pipeline on the paper's Figure 1
-// program under CI, 2obj and Cut-Shortcut, and checks that the precision
-// ordering the paper establishes holds: every context-sensitive (or CSC)
-// points-to set is a subset of the context-insensitive one, and the derived
-// metrics never get worse.
+// program through one AnalysisSession under CI, 2obj and Cut-Shortcut, and
+// checks that the precision ordering the paper establishes holds: every
+// context-sensitive (or CSC) points-to set is a subset of the
+// context-insensitive one, and the derived metrics never get worse.
 //
 //===----------------------------------------------------------------------===//
 
 #include "TestUtil.h"
 
-#include "client/AnalysisRunner.h"
+#include "client/AnalysisSession.h"
 
 #include <gtest/gtest.h>
 
@@ -21,11 +21,10 @@ using namespace csc::test;
 
 namespace {
 
-RunOutcome runKind(const Program &P, AnalysisKind K) {
-  RunConfig C;
-  C.Kind = K;
-  RunOutcome O = runAnalysis(P, C);
-  EXPECT_FALSE(O.Exhausted) << "budget hit under " << analysisName(K);
+AnalysisRun runSpec(AnalysisSession &S, const std::string &Spec) {
+  AnalysisRun O = S.run(Spec);
+  EXPECT_EQ(O.Status, RunStatus::Completed)
+      << Spec << ": " << O.Error;
   return O;
 }
 
@@ -44,19 +43,36 @@ void expectPointwiseSubset(const Program &P, const PTAResult &Sub,
   }
 }
 
-TEST(EndToEndSmoke, PrecisionOrderingOnFigure1) {
-  std::unique_ptr<Program> P = parseOrDie(figure1Source());
+std::unique_ptr<AnalysisSession> sessionOrDie(const std::string &Source) {
+  std::vector<std::string> Diags;
+  AnalysisSession::Options O;
+  O.WithStdlib = false;
+  std::unique_ptr<AnalysisSession> S =
+      AnalysisSession::fromSource("test.jir", Source, std::move(O), Diags);
+  for (const std::string &D : Diags)
+    ADD_FAILURE() << D;
+  EXPECT_NE(S, nullptr);
+  return S;
+}
 
-  RunOutcome CI = runKind(*P, AnalysisKind::CI);
-  RunOutcome TwoObj = runKind(*P, AnalysisKind::TwoObj);
-  RunOutcome Csc = runKind(*P, AnalysisKind::CSC);
+} // namespace
+
+TEST(EndToEndSmoke, PrecisionOrderingOnFigure1) {
+  std::unique_ptr<AnalysisSession> S = sessionOrDie(figure1Source());
+  ASSERT_NE(S, nullptr);
+  const Program &P = S->program();
+
+  // One session, many analyses — the program is parsed and verified once.
+  AnalysisRun CI = runSpec(*S, "ci");
+  AnalysisRun TwoObj = runSpec(*S, "2obj");
+  AnalysisRun Csc = runSpec(*S, "csc");
 
   // Every analysis must reach main and the Carton methods.
   EXPECT_GE(CI.Metrics.ReachMethods, 3u);
 
   // Refinements only: CSC and 2obj points-to sets are subsets of CI's.
-  expectPointwiseSubset(*P, Csc.Result, CI.Result, "CSC");
-  expectPointwiseSubset(*P, TwoObj.Result, CI.Result, "2obj");
+  expectPointwiseSubset(P, Csc.Result, CI.Result, "CSC");
+  expectPointwiseSubset(P, TwoObj.Result, CI.Result, "2obj");
 
   // Aggregate metrics never get worse than CI (smaller is better).
   EXPECT_LE(Csc.Metrics.FailCasts, CI.Metrics.FailCasts);
@@ -69,26 +85,45 @@ TEST(EndToEndSmoke, PrecisionOrderingOnFigure1) {
 }
 
 TEST(EndToEndSmoke, CscSeparatesFigure1Cartons) {
-  std::unique_ptr<Program> P = parseOrDie(figure1Source());
-  MethodId Main = findMethod(*P, "Main", "main");
+  std::unique_ptr<AnalysisSession> S = sessionOrDie(figure1Source());
+  ASSERT_NE(S, nullptr);
+  const Program &P = S->program();
+  MethodId Main = findMethod(P, "Main", "main");
   ASSERT_NE(Main, InvalidId);
-  VarId Result1 = findVar(*P, Main, "result1");
-  VarId Result2 = findVar(*P, Main, "result2");
-  VarId Item1 = findVar(*P, Main, "item1");
-  VarId Item2 = findVar(*P, Main, "item2");
-  ObjId OItem1 = allocOf(*P, Item1);
-  ObjId OItem2 = allocOf(*P, Item2);
+  VarId Result1 = findVar(P, Main, "result1");
+  VarId Result2 = findVar(P, Main, "result2");
+  VarId Item1 = findVar(P, Main, "item1");
+  VarId Item2 = findVar(P, Main, "item2");
+  ObjId OItem1 = allocOf(P, Item1);
+  ObjId OItem2 = allocOf(P, Item2);
 
   // CI conflates the two cartons' contents (Fig. 1a)...
-  RunOutcome CI = runKind(*P, AnalysisKind::CI);
+  AnalysisRun CI = runSpec(*S, "ci");
   EXPECT_EQ(CI.Result.pt(Result1).size(), 2u);
   EXPECT_TRUE(CI.Result.mayAlias(Result1, Result2));
 
   // ...Cut-Shortcut keeps them apart without any contexts (Fig. 1b).
-  RunOutcome Csc = runKind(*P, AnalysisKind::CSC);
+  AnalysisRun Csc = runSpec(*S, "csc");
   EXPECT_EQ(Csc.Result.pt(Result1).toVector(), std::vector<uint32_t>{OItem1});
   EXPECT_EQ(Csc.Result.pt(Result2).toVector(), std::vector<uint32_t>{OItem2});
   EXPECT_GT(Csc.Csc.ShortcutEdges, 0u);
 }
 
-} // namespace
+TEST(EndToEndSmoke, RunAllReproducesFigure1Ordering) {
+  std::unique_ptr<AnalysisSession> S = sessionOrDie(figure1Source());
+  ASSERT_NE(S, nullptr);
+
+  // The cscpta acceptance pipeline: one spec list, in order.
+  std::vector<AnalysisRun> Runs = S->runAll("ci,csc,2obj");
+  ASSERT_EQ(Runs.size(), 3u);
+  EXPECT_EQ(Runs[0].Name, "ci");
+  EXPECT_EQ(Runs[1].Name, "csc");
+  EXPECT_EQ(Runs[2].Name, "2obj");
+  for (const AnalysisRun &R : Runs)
+    ASSERT_TRUE(R.completed()) << R.Name;
+
+  // CSC and 2obj agree on Figure 1 and are never worse than CI.
+  EXPECT_EQ(Runs[1].Metrics.FailCasts, Runs[2].Metrics.FailCasts);
+  EXPECT_LE(Runs[1].Metrics.CallEdges, Runs[0].Metrics.CallEdges);
+  EXPECT_LE(Runs[2].Metrics.CallEdges, Runs[0].Metrics.CallEdges);
+}

@@ -1,10 +1,10 @@
-//===- MetricsTest.cpp - Precision clients & analysis runner --------------===//
+//===- MetricsTest.cpp - Precision clients & analysis session -------------===//
 //
 // Part of the Cut-Shortcut pointer analysis reproduction.
 //
 //===----------------------------------------------------------------------===//
 
-#include "client/AnalysisRunner.h"
+#include "client/AnalysisSession.h"
 #include "client/Metrics.h"
 #include "pta/Solver.h"
 
@@ -51,16 +51,25 @@ class Main {
 )";
 }
 
+std::unique_ptr<AnalysisSession>
+sessionWithStdlib(const std::string &Source,
+                  AnalysisSession::Options O = {}) {
+  std::vector<std::string> Diags;
+  std::unique_ptr<AnalysisSession> S =
+      AnalysisSession::fromSource("test.jir", Source, std::move(O), Diags);
+  for (const std::string &D : Diags)
+    ADD_FAILURE() << D;
+  EXPECT_NE(S, nullptr);
+  return S;
+}
+
 } // namespace
 
 TEST(MetricsTest, FailCastsDropUnderCSC) {
-  auto P = parseWithStdlib(castWorkload());
-  RunConfig CI;
-  CI.Kind = AnalysisKind::CI;
-  RunOutcome RCI = runAnalysis(*P, CI);
-  RunConfig CSC;
-  CSC.Kind = AnalysisKind::CSC;
-  RunOutcome RCSC = runAnalysis(*P, CSC);
+  auto S = sessionWithStdlib(castWorkload());
+  ASSERT_NE(S, nullptr);
+  AnalysisRun RCI = S->run("ci");
+  AnalysisRun RCSC = S->run("csc");
 
   EXPECT_EQ(RCI.Metrics.FailCasts, 2u) << "CI merges the two lists";
   EXPECT_EQ(RCSC.Metrics.FailCasts, 0u) << "CSC separates the two lists";
@@ -141,49 +150,47 @@ class Main {
   EXPECT_TRUE(mayFailCasts(*P, R).empty());
 }
 
-TEST(MetricsTest, RunnerAllAnalysisKindsAgreeOnSoundness) {
-  auto P = parseWithStdlib(castWorkload());
-  RunConfig Base;
-  RunOutcome CI = runAnalysis(*P, Base);
-  for (AnalysisKind K :
-       {AnalysisKind::CSC, AnalysisKind::ZipperE, AnalysisKind::TwoObj,
-        AnalysisKind::TwoType, AnalysisKind::TwoCallSite}) {
-    RunConfig C;
-    C.Kind = K;
-    RunOutcome Out = runAnalysis(*P, C);
-    EXPECT_FALSE(Out.Exhausted) << analysisName(K);
+TEST(MetricsTest, AllAnalysisSpecsAgreeOnSoundness) {
+  auto S = sessionWithStdlib(castWorkload());
+  ASSERT_NE(S, nullptr);
+  AnalysisRun CI = S->run("ci");
+  ASSERT_TRUE(CI.completed());
+  for (const AnalysisRun &Out :
+       S->runAll("csc,zipper-e,2obj,2type,2cs")) {
+    EXPECT_EQ(Out.Status, RunStatus::Completed) << Out.Name << Out.Error;
     // Precision metrics never exceed CI's (smaller is better and CI is
     // the least precise sound analysis here).
-    EXPECT_LE(Out.Metrics.FailCasts, CI.Metrics.FailCasts)
-        << analysisName(K);
-    EXPECT_LE(Out.Metrics.CallEdges, CI.Metrics.CallEdges)
-        << analysisName(K);
+    EXPECT_LE(Out.Metrics.FailCasts, CI.Metrics.FailCasts) << Out.Name;
+    EXPECT_LE(Out.Metrics.CallEdges, CI.Metrics.CallEdges) << Out.Name;
     EXPECT_LE(Out.Metrics.ReachMethods, CI.Metrics.ReachMethods)
-        << analysisName(K);
-    EXPECT_LE(Out.Metrics.PolyCalls, CI.Metrics.PolyCalls)
-        << analysisName(K);
+        << Out.Name;
+    EXPECT_LE(Out.Metrics.PolyCalls, CI.Metrics.PolyCalls) << Out.Name;
   }
 }
 
-TEST(MetricsTest, RunnerDoopModeDisablesLoadPattern) {
-  auto P = parseOrDie(figure1Source());
-  RunConfig C;
-  C.Kind = AnalysisKind::CSC;
-  C.DoopMode = true;
-  RunOutcome Out = runAnalysis(*P, C);
+TEST(MetricsTest, DoopModeDisablesLoadPattern) {
+  std::vector<std::string> Diags;
+  AnalysisSession::Options O;
+  O.WithStdlib = false;
+  auto S = AnalysisSession::fromSource("fig1.jir", figure1Source(),
+                                       std::move(O), Diags);
+  ASSERT_NE(S, nullptr);
+  AnalysisRun Out = S->run("csc-doop");
+  ASSERT_TRUE(Out.completed());
   // Store-side cuts fire; the load side is disabled in doop mode, so the
   // call results are merged like CI.
-  MethodId Main = findMethod(*P, "Main", "main");
-  VarId Result1 = findVar(*P, Main, "result1");
+  MethodId Main = findMethod(S->program(), "Main", "main");
+  VarId Result1 = findVar(S->program(), Main, "result1");
   EXPECT_EQ(Out.Result.pt(Result1).size(), 2u);
   EXPECT_GE(Out.Csc.CutStores, 1u);
 }
 
-TEST(MetricsTest, RunnerReportsBudgetExhaustion) {
-  auto P = parseWithStdlib(castWorkload());
-  RunConfig C;
-  C.Kind = AnalysisKind::TwoObj;
-  C.WorkBudget = 2;
-  RunOutcome Out = runAnalysis(*P, C);
-  EXPECT_TRUE(Out.Exhausted);
+TEST(MetricsTest, SessionReportsBudgetExhaustion) {
+  AnalysisSession::Options O;
+  O.WorkBudget = 2;
+  auto S = sessionWithStdlib(castWorkload(), std::move(O));
+  ASSERT_NE(S, nullptr);
+  AnalysisRun Out = S->run("2obj");
+  EXPECT_EQ(Out.Status, RunStatus::BudgetExhausted);
+  EXPECT_FALSE(Out.completed());
 }

@@ -12,7 +12,7 @@
 //
 //===----------------------------------------------------------------------===//
 
-#include "client/AnalysisRunner.h"
+#include "client/AnalysisSession.h"
 #include "csc/CutShortcutPlugin.h"
 #include "pta/Solver.h"
 #include "stdlib/ContainerSpec.h"
@@ -40,22 +40,33 @@ WorkloadConfig propertyConfig(uint64_t Seed) {
 
 class CscPropertyTest : public ::testing::TestWithParam<uint64_t> {};
 
-RunOutcome run(const Program &P, AnalysisKind K,
-               CutShortcutOptions Opts = {}) {
-  RunConfig C;
-  C.Kind = K;
-  C.Csc = Opts;
-  return runAnalysis(P, C);
+/// Builds the seeded workload program into a session (or fails the test).
+std::unique_ptr<AnalysisSession> makeSession(uint64_t Seed) {
+  std::vector<std::string> Diags;
+  auto P = buildWorkloadProgram(propertyConfig(Seed), Diags);
+  std::unique_ptr<AnalysisSession> S;
+  if (P)
+    S = AnalysisSession::adopt(std::move(P), {}, Diags);
+  for (const std::string &D : Diags)
+    ADD_FAILURE() << D;
+  EXPECT_NE(S, nullptr);
+  return S;
+}
+
+AnalysisRun run(AnalysisSession &S, const std::string &Spec) {
+  AnalysisRun O = S.run(Spec);
+  EXPECT_EQ(O.Status, RunStatus::Completed) << Spec << ": " << O.Error;
+  return O;
 }
 
 } // namespace
 
 TEST_P(CscPropertyTest, NeverLessPreciseThanCI) {
-  std::vector<std::string> Diags;
-  auto P = buildWorkloadProgram(propertyConfig(GetParam()), Diags);
-  ASSERT_NE(P, nullptr);
-  RunOutcome CI = run(*P, AnalysisKind::CI);
-  RunOutcome CSC = run(*P, AnalysisKind::CSC);
+  auto S = makeSession(GetParam());
+  ASSERT_NE(S, nullptr);
+  const Program *P = &S->program();
+  AnalysisRun CI = run(*S, "ci");
+  AnalysisRun CSC = run(*S, "csc");
 
   uint64_t CIPts = 0, CSCPts = 0;
   for (VarId V = 0; V < P->numVars(); ++V) {
@@ -81,11 +92,10 @@ TEST_P(CscPropertyTest, NeverLessPreciseThanCI) {
 }
 
 TEST_P(CscPropertyTest, MetricsMonotone) {
-  std::vector<std::string> Diags;
-  auto P = buildWorkloadProgram(propertyConfig(GetParam()), Diags);
-  ASSERT_NE(P, nullptr);
-  RunOutcome CI = run(*P, AnalysisKind::CI);
-  RunOutcome CSC = run(*P, AnalysisKind::CSC);
+  auto S = makeSession(GetParam());
+  ASSERT_NE(S, nullptr);
+  AnalysisRun CI = run(*S, "ci");
+  AnalysisRun CSC = run(*S, "csc");
   EXPECT_LE(CSC.Metrics.FailCasts, CI.Metrics.FailCasts);
   EXPECT_LE(CSC.Metrics.ReachMethods, CI.Metrics.ReachMethods);
   EXPECT_LE(CSC.Metrics.PolyCalls, CI.Metrics.PolyCalls);
@@ -95,13 +105,11 @@ TEST_P(CscPropertyTest, MetricsMonotone) {
 }
 
 TEST_P(CscPropertyTest, AllPatternsOffEqualsCI) {
-  std::vector<std::string> Diags;
-  auto P = buildWorkloadProgram(propertyConfig(GetParam()), Diags);
-  ASSERT_NE(P, nullptr);
-  CutShortcutOptions Off;
-  Off.FieldStore = Off.FieldLoad = Off.Container = Off.LocalFlow = false;
-  RunOutcome CI = run(*P, AnalysisKind::CI);
-  RunOutcome Null = run(*P, AnalysisKind::CSC, Off);
+  auto S = makeSession(GetParam());
+  ASSERT_NE(S, nullptr);
+  const Program *P = &S->program();
+  AnalysisRun CI = run(*S, "ci");
+  AnalysisRun Null = run(*S, "csc;field=0;load=0;container=0;local=0");
   for (VarId V = 0; V < P->numVars(); ++V)
     EXPECT_EQ(Null.Result.pt(V).toVector(), CI.Result.pt(V).toVector());
   EXPECT_EQ(Null.Metrics.CallEdges, CI.Metrics.CallEdges);
@@ -109,14 +117,12 @@ TEST_P(CscPropertyTest, AllPatternsOffEqualsCI) {
 }
 
 TEST_P(CscPropertyTest, DoopVariantBetweenCIAndFull) {
-  std::vector<std::string> Diags;
-  auto P = buildWorkloadProgram(propertyConfig(GetParam()), Diags);
-  ASSERT_NE(P, nullptr);
-  CutShortcutOptions NoLoad;
-  NoLoad.FieldLoad = false;
-  RunOutcome CI = run(*P, AnalysisKind::CI);
-  RunOutcome Doop = run(*P, AnalysisKind::CSC, NoLoad);
-  RunOutcome Full = run(*P, AnalysisKind::CSC);
+  auto S = makeSession(GetParam());
+  ASSERT_NE(S, nullptr);
+  const Program *P = &S->program();
+  AnalysisRun CI = run(*S, "ci");
+  AnalysisRun Doop = run(*S, "csc;load=0");
+  AnalysisRun Full = run(*S, "csc");
   EXPECT_LE(Doop.Metrics.FailCasts, CI.Metrics.FailCasts);
   EXPECT_LE(Full.Metrics.FailCasts, Doop.Metrics.FailCasts);
   // The doop variant stays sound: still a subset of CI pointwise.

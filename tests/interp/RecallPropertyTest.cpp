@@ -9,7 +9,8 @@
 //
 //===----------------------------------------------------------------------===//
 
-#include "client/AnalysisRunner.h"
+#include "client/AnalysisNames.h"
+#include "client/AnalysisSession.h"
 #include "interp/Interpreter.h"
 #include "workload/Workload.h"
 
@@ -57,10 +58,9 @@ TEST_P(RecallPropertyTest, DynamicFactsAreRecalled) {
   DynamicFacts Dyn = interpretManySeeds(*P, 6);
   ASSERT_GT(Dyn.ReachedMethods.size(), 5u);
 
-  RunConfig RC;
-  RC.Kind = Case.Kind;
-  RunOutcome O = runAnalysis(*P, RC);
-  ASSERT_FALSE(O.Exhausted);
+  AnalysisSession S(*P);
+  AnalysisRun O = S.run(analysisName(Case.Kind));
+  ASSERT_TRUE(O.completed()) << O.Error;
   const PTAResult &R = O.Result;
 
   for (MethodId M : Dyn.ReachedMethods)
@@ -131,11 +131,9 @@ TEST(RecallDoopModeTest, DoopEngineIsEquallySound) {
   auto P = buildWorkloadProgram(smallConfig(606), Diags);
   ASSERT_NE(P, nullptr);
   DynamicFacts Dyn = interpretManySeeds(*P, 4);
-  RunConfig RC;
-  RC.Kind = AnalysisKind::CSC;
-  RC.DoopMode = true;
-  RunOutcome O = runAnalysis(*P, RC);
-  ASSERT_FALSE(O.Exhausted);
+  AnalysisSession S(*P);
+  AnalysisRun O = S.run("csc-doop");
+  ASSERT_TRUE(O.completed()) << O.Error;
   for (MethodId M : Dyn.ReachedMethods)
     EXPECT_TRUE(O.Result.isReachable(M)) << P->methodString(M);
   for (const auto &[V, Objs] : Dyn.VarPointsTo)

@@ -6,7 +6,7 @@
 
 #include "zipper/Zipper.h"
 
-#include "client/AnalysisRunner.h"
+#include "client/AnalysisSession.h"
 #include "pta/Solver.h"
 
 #include "../TestUtil.h"
@@ -53,15 +53,25 @@ class Main {
 
 TEST(ZipperTest, MainAnalysisRecoversFigure1Precision) {
   auto P = parseOrDie(figure1Source());
-  RunConfig C;
-  C.Kind = AnalysisKind::ZipperE;
-  RunOutcome Out = runAnalysis(*P, C);
+  AnalysisSession S(*P);
+  AnalysisRun Out = S.run("zipper-e");
+  ASSERT_TRUE(Out.completed()) << Out.Error;
   MethodId Main = findMethod(*P, "Main", "main");
   ObjId O16 = allocOf(*P, findVar(*P, Main, "item1"));
   VarId Result1 = findVar(*P, Main, "result1");
   EXPECT_EQ(Out.Result.pt(Result1).toVector(), std::vector<uint32_t>{O16});
   EXPECT_GT(Out.SelectedMethods, 0u);
-  EXPECT_GT(Out.PreMs, 0.0);
+  EXPECT_GT(Out.Timings.PreMs, 0.0);
+  EXPECT_FALSE(Out.PreFromCache);
+
+  // A second Zipper-e run on the same session reuses the cached
+  // pre-analysis and reaches the same result.
+  AnalysisRun Again = S.run("zipper-e");
+  ASSERT_TRUE(Again.completed());
+  EXPECT_TRUE(Again.PreFromCache);
+  EXPECT_EQ(Again.SelectedMethods, Out.SelectedMethods);
+  EXPECT_EQ(Again.Result.pt(Result1).toVector(),
+            std::vector<uint32_t>{O16});
 }
 
 TEST(ZipperTest, CostGuardUnselectsExpensiveClasses) {

@@ -1,0 +1,324 @@
+//===- cscpta.cpp - Cut-Shortcut pointer-analysis driver --------------------===//
+//
+// Part of the Cut-Shortcut pointer analysis reproduction.
+//
+// The end-user entry point: loads one or more `.jir` files (the modelled
+// standard library prepended unless --no-stdlib), runs a comma-separated
+// list of registered analysis specs over the one parsed program, and
+// reports per-analysis precision metrics as a human table or JSON.
+//
+// Usage:
+//   cscpta [options] <file.jir>...
+//     --analyses <list>    comma-separated specs (default: csc); e.g.
+//                          "ci,csc,2obj" or "k-type;k=3,zipper-e;pv=0.05"
+//     --json               emit a JSON report on stdout
+//     --points-to <v>      also query pt() of "Class.method.var"
+//                          (repeatable)
+//     --budget-ms <n>      wall-clock budget per analysis (0 = unlimited)
+//     --work-budget <n>    points-to-insertion budget per analysis
+//     --no-stdlib          do not prepend the modelled standard library
+//     --verbose            phase progress on stderr
+//     --list               list registered analyses and exit
+//
+// Exit codes: 0 success, 1 load/spec failure, 2 usage error, 3 at least
+// one analysis exhausted its budget.
+//
+//===----------------------------------------------------------------------===//
+
+#include "client/AnalysisSession.h"
+#include "client/Report.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+using namespace csc;
+
+namespace {
+
+int usage(const char *Prog) {
+  std::fprintf(
+      stderr,
+      "usage: %s [options] <file.jir>...\n"
+      "  --analyses <list>  comma-separated analysis specs (default: csc)\n"
+      "  --json             emit a JSON report on stdout\n"
+      "  --points-to <var>  query pt() of \"Class.method.var\" (repeatable)\n"
+      "  --budget-ms <n>    wall-clock budget per analysis in ms\n"
+      "  --work-budget <n>  points-to-insertion budget per analysis\n"
+      "  --no-stdlib        do not prepend the modelled standard library\n"
+      "  --verbose          phase progress on stderr\n"
+      "  --list             list registered analyses and exit\n",
+      Prog);
+  return 2;
+}
+
+struct CliOptions {
+  std::vector<std::string> Files;
+  std::string Analyses = "csc";
+  std::vector<std::string> PointsToQueries;
+  double BudgetMs = 0;
+  uint64_t WorkBudget = ~0ULL;
+  bool Json = false;
+  bool NoStdlib = false;
+  bool Verbose = false;
+  bool List = false;
+};
+
+/// Accepts "--opt value" and "--opt=value".
+bool takeValue(int Argc, char **Argv, int &I, const char *Opt,
+               std::string &Out) {
+  std::string Arg = Argv[I];
+  std::string Prefix = std::string(Opt) + "=";
+  if (Arg.rfind(Prefix, 0) == 0) {
+    Out = Arg.substr(Prefix.size());
+    return true;
+  }
+  if (Arg == Opt) {
+    if (I + 1 >= Argc)
+      return false;
+    Out = Argv[++I];
+    return true;
+  }
+  return false;
+}
+
+bool matchesOpt(const char *Arg, const char *Opt) {
+  std::string A = Arg;
+  return A == Opt || A.rfind(std::string(Opt) + "=", 0) == 0;
+}
+
+bool parseDoubleArg(const std::string &Val, const char *Opt, double &Out) {
+  errno = 0;
+  char *End = nullptr;
+  double D = std::strtod(Val.c_str(), &End);
+  if (errno != 0 || End == Val.c_str() || *End != '\0' || D < 0) {
+    std::fprintf(stderr,
+                 "error: %s expects a non-negative number, got '%s'\n", Opt,
+                 Val.c_str());
+    return false;
+  }
+  Out = D;
+  return true;
+}
+
+bool parseUint64Arg(const std::string &Val, const char *Opt, uint64_t &Out) {
+  errno = 0;
+  char *End = nullptr;
+  unsigned long long N = std::strtoull(Val.c_str(), &End, 10);
+  if (errno != 0 || End == Val.c_str() || *End != '\0') {
+    std::fprintf(stderr,
+                 "error: %s expects a non-negative integer, got '%s'\n", Opt,
+                 Val.c_str());
+    return false;
+  }
+  Out = N;
+  return true;
+}
+
+void printPointsTo(const ResultView &View, const std::string &Query) {
+  VarId V = View.findVar(Query);
+  if (V == InvalidId) {
+    std::printf("  pt(%s) = <no such variable>\n", Query.c_str());
+    return;
+  }
+  std::printf("  pt(%s) = {", Query.c_str());
+  bool First = true;
+  const Program &P = View.program();
+  View.pointsTo(V).forEach([&](ObjId O) {
+    std::printf("%so%u:%s", First ? "" : ", ", O,
+                P.type(P.obj(O).Type).Name.c_str());
+    First = false;
+  });
+  std::printf("}\n");
+}
+
+void appendPointsToJson(JsonWriter &J, const ResultView &View,
+                        const std::string &Query) {
+  J.beginObject().kv("var", Query);
+  VarId V = View.findVar(Query);
+  if (V == InvalidId) {
+    J.kv("found", false).endObject();
+    return;
+  }
+  J.kv("found", true).key("objects").beginArray();
+  const Program &P = View.program();
+  View.pointsTo(V).forEach([&](ObjId O) {
+    J.beginObject()
+        .kv("obj", O)
+        .kv("type", P.type(P.obj(O).Type).Name)
+        .endObject();
+  });
+  J.endArray().endObject();
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  CliOptions Cli;
+  for (int I = 1; I < Argc; ++I) {
+    std::string Arg = Argv[I];
+    std::string Val;
+    if (matchesOpt(Argv[I], "--analyses")) {
+      if (!takeValue(Argc, Argv, I, "--analyses", Cli.Analyses))
+        return usage(Argv[0]);
+    } else if (matchesOpt(Argv[I], "--points-to")) {
+      if (!takeValue(Argc, Argv, I, "--points-to", Val))
+        return usage(Argv[0]);
+      Cli.PointsToQueries.push_back(Val);
+    } else if (matchesOpt(Argv[I], "--budget-ms")) {
+      if (!takeValue(Argc, Argv, I, "--budget-ms", Val) ||
+          !parseDoubleArg(Val, "--budget-ms", Cli.BudgetMs))
+        return usage(Argv[0]);
+    } else if (matchesOpt(Argv[I], "--work-budget")) {
+      if (!takeValue(Argc, Argv, I, "--work-budget", Val) ||
+          !parseUint64Arg(Val, "--work-budget", Cli.WorkBudget))
+        return usage(Argv[0]);
+    } else if (Arg == "--json") {
+      Cli.Json = true;
+    } else if (Arg == "--no-stdlib") {
+      Cli.NoStdlib = true;
+    } else if (Arg == "--verbose") {
+      Cli.Verbose = true;
+    } else if (Arg == "--list") {
+      Cli.List = true;
+    } else if (Arg == "--help" || Arg == "-h") {
+      usage(Argv[0]);
+      return 0;
+    } else if (Arg.rfind("--", 0) == 0) {
+      std::fprintf(stderr, "error: unknown option '%s'\n", Arg.c_str());
+      return usage(Argv[0]);
+    } else {
+      Cli.Files.push_back(Arg);
+    }
+  }
+
+  if (Cli.List) {
+    std::printf("registered analyses:\n");
+    for (const auto &[Name, Desc] : AnalysisRegistry::global().list())
+      std::printf("  %-10s %s\n", Name.c_str(), Desc.c_str());
+    std::printf("spec syntax: name[;key=value]..., comma-separated; e.g. "
+                "\"ci,k-type;k=3,zipper-e;pv=0.05\"\n");
+    return 0;
+  }
+  if (Cli.Files.empty())
+    return usage(Argv[0]);
+
+  AnalysisSession::Options SO;
+  SO.WithStdlib = !Cli.NoStdlib;
+  SO.TimeBudgetMs = Cli.BudgetMs;
+  SO.WorkBudget = Cli.WorkBudget;
+  if (Cli.Verbose)
+    SO.Progress = [](const char *Phase, const std::string &Detail) {
+      std::fprintf(stderr, "[cscpta] %s %s\n", Phase, Detail.c_str());
+    };
+
+  std::vector<std::string> Diags;
+  std::unique_ptr<AnalysisSession> S =
+      AnalysisSession::fromFiles(Cli.Files, std::move(SO), Diags);
+  if (!S) {
+    for (const std::string &D : Diags)
+      std::fprintf(stderr, "%s\n", D.c_str());
+    return 1;
+  }
+  const Program &P = S->program();
+
+  std::vector<AnalysisRun> Runs = S->runAll(Cli.Analyses);
+  if (Runs.empty()) {
+    std::fprintf(stderr, "error: no analyses requested\n");
+    return usage(Argv[0]);
+  }
+
+  bool AnySpecError = false, AnyExhausted = false;
+  for (const AnalysisRun &Run : Runs) {
+    if (Run.Status == RunStatus::SpecError) {
+      AnySpecError = true;
+      std::fprintf(stderr, "error: %s\n", Run.Error.c_str());
+    }
+    AnyExhausted = AnyExhausted || Run.exhausted();
+  }
+
+  if (Cli.Json) {
+    JsonWriter J;
+    J.beginObject();
+    J.kv("tool", "cscpta");
+    J.key("files").beginArray();
+    for (const std::string &F : Cli.Files)
+      J.value(F);
+    J.endArray();
+    J.key("program");
+    appendProgramSummaryJson(J, P);
+    J.kv("parse_ms", S->parseMs()).kv("verify_ms", S->verifyMs());
+    J.key("runs").beginArray();
+    for (const AnalysisRun &Run : Runs)
+      appendRunJson(J, Run);
+    J.endArray();
+    if (!Cli.PointsToQueries.empty()) {
+      J.key("queries").beginArray();
+      for (const AnalysisRun &Run : Runs) {
+        if (!Run.completed())
+          continue;
+        ResultView View = S->view(Run);
+        for (const std::string &Q : Cli.PointsToQueries) {
+          J.beginObject().kv("analysis", Run.Name).key("points_to");
+          appendPointsToJson(J, View, Q);
+          J.endObject();
+        }
+      }
+      J.endArray();
+    }
+    J.endObject();
+    std::printf("%s\n", J.str().c_str());
+  } else {
+    std::printf("program: %u classes, %u methods, %u statements "
+                "(%zu file(s), parse %.1f ms)\n",
+                P.numTypes(), P.numMethods(), P.numStmts(),
+                Cli.Files.size(), S->parseMs());
+    std::printf("%-18s %-16s %10s %10s %10s %10s %12s\n", "analysis",
+                "status", "time(ms)", "#fail-cast", "#reach-mtd",
+                "#poly-call", "#call-edge");
+    for (const AnalysisRun &Run : Runs) {
+      if (Run.Status == RunStatus::SpecError) {
+        std::printf("%-18s %-16s\n", Run.Name.c_str(),
+                    runStatusName(Run.Status));
+        continue;
+      }
+      if (!Run.completed()) {
+        std::printf("%-18s %-16s %10.1f %10s %10s %10s %12s\n",
+                    Run.Name.c_str(), runStatusName(Run.Status),
+                    Run.Timings.TotalMs, "-", "-", "-", "-");
+        continue;
+      }
+      std::printf("%-18s %-16s %10.1f %10u %10u %10u %12llu\n",
+                  Run.Name.c_str(), runStatusName(Run.Status),
+                  Run.Timings.TotalMs, Run.Metrics.FailCasts,
+                  Run.Metrics.ReachMethods, Run.Metrics.PolyCalls,
+                  static_cast<unsigned long long>(Run.Metrics.CallEdges));
+      if (Run.Csc.ShortcutEdges || Run.Csc.CutStores)
+        std::printf("  cut-shortcut: %llu cut stores, %llu cut returns, "
+                    "%llu shortcut edges, %zu involved methods\n",
+                    static_cast<unsigned long long>(Run.Csc.CutStores),
+                    static_cast<unsigned long long>(Run.Csc.CutReturns),
+                    static_cast<unsigned long long>(Run.Csc.ShortcutEdges),
+                    Run.Csc.Involved.size());
+      if (Run.SelectedMethods)
+        std::printf("  zipper-e: %u selected methods, pre-analysis %.1f ms"
+                    "%s\n",
+                    Run.SelectedMethods, Run.Timings.PreMs,
+                    Run.PreFromCache ? " (cached)" : "");
+      if (!Cli.PointsToQueries.empty()) {
+        ResultView View = S->view(Run);
+        for (const std::string &Q : Cli.PointsToQueries)
+          printPointsTo(View, Q);
+      }
+    }
+  }
+
+  if (AnySpecError)
+    return 1;
+  if (AnyExhausted)
+    return 3;
+  return 0;
+}
