@@ -1,4 +1,4 @@
-//===- ablation_patterns.cpp - §5.1 per-pattern impact ---------------------===//
+//===- ablation_patterns.cpp - §5.1 per-pattern impact --------------------===//
 //
 // Part of the Cut-Shortcut pointer analysis reproduction.
 //

@@ -1,4 +1,4 @@
-//===- ablation_selection.cpp - §3.4's suggested combination ---------------===//
+//===- ablation_selection.cpp - §3.4's suggested combination --------------===//
 //
 // Part of the Cut-Shortcut pointer analysis reproduction.
 //

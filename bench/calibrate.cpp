@@ -1,4 +1,4 @@
-//===- calibrate.cpp - Workload calibration probe --------------------------===//
+//===- calibrate.cpp - Workload calibration probe -------------------------===//
 //
 // Part of the Cut-Shortcut pointer analysis reproduction.
 //

@@ -1,4 +1,4 @@
-//===- fig12_analysis_time.cpp - Figure 12 ---------------------------------===//
+//===- fig12_analysis_time.cpp - Figure 12 --------------------------------===//
 //
 // Part of the Cut-Shortcut pointer analysis reproduction.
 //

@@ -1,4 +1,4 @@
-//===- micro_engine.cpp - Engine microbenchmarks ----------------------------===//
+//===- micro_engine.cpp - Engine microbenchmarks --------------------------===//
 //
 // Part of the Cut-Shortcut pointer analysis reproduction.
 //

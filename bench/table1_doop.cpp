@@ -1,4 +1,4 @@
-//===- table1_doop.cpp - Table 1 (Doop framework) --------------------------===//
+//===- table1_doop.cpp - Table 1 (Doop framework) -------------------------===//
 //
 // Part of the Cut-Shortcut pointer analysis reproduction.
 //

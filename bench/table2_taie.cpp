@@ -1,4 +1,4 @@
-//===- table2_taie.cpp - Table 2 (Tai-e framework) --------------------------===//
+//===- table2_taie.cpp - Table 2 (Tai-e framework) ------------------------===//
 //
 // Part of the Cut-Shortcut pointer analysis reproduction.
 //

@@ -1,4 +1,4 @@
-//===- table3_zipper_vs_csc.cpp - Table 3 ----------------------------------===//
+//===- table3_zipper_vs_csc.cpp - Table 3 ---------------------------------===//
 //
 // Part of the Cut-Shortcut pointer analysis reproduction.
 //

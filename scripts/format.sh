@@ -1,0 +1,44 @@
+#!/usr/bin/env bash
+# Formats the C++ sources with clang-format (in place by default).
+# Usage: scripts/format.sh [--check]
+#   --check   verify formatting only (clang-format --dry-run -Werror);
+#             non-zero exit if any file needs reformatting. This is what
+#             the CI `format` job runs.
+# The binary can be overridden with CLANG_FORMAT=<path>.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+MODE=fix
+if [[ "${1:-}" == "--check" ]]; then
+  MODE=check
+elif [[ -n "${1:-}" ]]; then
+  echo "usage: $0 [--check]" >&2
+  exit 2
+fi
+
+FMT="${CLANG_FORMAT:-}"
+if [[ -z "$FMT" ]]; then
+  for candidate in clang-format clang-format-19 clang-format-18 \
+      clang-format-17 clang-format-16 clang-format-15 clang-format-14; do
+    if command -v "$candidate" > /dev/null 2>&1; then
+      FMT="$candidate"
+      break
+    fi
+  done
+fi
+if [[ -z "$FMT" ]]; then
+  echo "error: clang-format not found (set CLANG_FORMAT=<path>)" >&2
+  exit 1
+fi
+
+mapfile -t FILES < <(find src tests bench tools \
+  \( -name '*.cpp' -o -name '*.h' \) | sort)
+
+if [[ "$MODE" == "check" ]]; then
+  "$FMT" --dry-run -Werror "${FILES[@]}"
+  echo "format: ${#FILES[@]} files clean"
+else
+  "$FMT" -i "${FILES[@]}"
+  echo "format: ${#FILES[@]} files formatted"
+fi

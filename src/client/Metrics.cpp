@@ -10,13 +10,24 @@ using namespace csc;
 
 std::vector<StmtId> csc::mayFailCasts(const Program &P, const PTAResult &R) {
   std::vector<StmtId> Out;
+  // Per cast target type, a bitmap over source TypeIds that would fail
+  // the cast. Built once per target type (numTypes subtype queries), it
+  // turns the per-pointee check into a bit test — points-to sets here can
+  // hold hundreds of objects per cast on container-heavy programs.
+  std::unordered_map<TypeId, PointsToSet> FailTypeMasks;
   for (StmtId S = 0; S < P.numStmts(); ++S) {
     const Stmt &St = P.stmt(S);
     if (St.Kind != StmtKind::Cast || !R.isReachable(St.Method))
       continue;
+    auto [It, New] = FailTypeMasks.try_emplace(St.Type);
+    PointsToSet &Mask = It->second;
+    if (New)
+      for (TypeId T = 0; T < P.numTypes(); ++T)
+        if (!P.isSubtype(T, St.Type))
+          Mask.insert(T);
     bool MayFail = false;
     R.pt(St.From).forEach([&](ObjId O) {
-      MayFail = MayFail || !P.isSubtype(P.obj(O).Type, St.Type);
+      MayFail = MayFail || Mask.contains(P.obj(O).Type);
     });
     if (MayFail)
       Out.push_back(S);

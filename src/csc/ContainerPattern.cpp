@@ -1,4 +1,4 @@
-//===- ContainerPattern.cpp - §3.3 / Fig. 10 -------------------------------===//
+//===- ContainerPattern.cpp - §3.3 / Fig. 10 ------------------------------===//
 //
 // Part of the Cut-Shortcut pointer analysis reproduction.
 //
@@ -17,10 +17,19 @@ void ContainerPattern::onNewMethod(MethodId M) {
     St.cutReturn(RV);
 }
 
+bool ContainerPattern::methodIsContainer(MethodId M) {
+  int8_t Memo = denseGet<int8_t>(ContainerMethodMemo, M, -1);
+  if (Memo < 0) {
+    Memo = Spec.isContainerMethod(M) ? 1 : 0;
+    denseAssign<int8_t>(ContainerMethodMemo, M, Memo, -1);
+  }
+  return Memo != 0;
+}
+
 void ContainerPattern::onNewCallEdge(CSCallSiteId CS, CSMethodId Callee) {
   CallGraph &CG = St.S->callGraph();
   MethodId M = CG.csMethod(Callee).M;
-  if (!Spec.isContainerMethod(M))
+  if (!methodIsContainer(M))
     return;
   const Program &P = St.S->program();
   StmtId SId = P.callSite(CG.csCallSite(CS).CS).S;
@@ -42,17 +51,25 @@ void ContainerPattern::onNewCallEdge(CSCallSiteId CS, CSMethodId Callee) {
   drain();
 }
 
-void ContainerPattern::onNewPointsTo(PtrId P,
-                                     const std::vector<CSObjId> &Delta) {
+bool ContainerPattern::typeIsHost(TypeId T) {
+  int8_t Memo = denseGet<int8_t>(HostTypeMemo, T, -1);
+  if (Memo < 0) {
+    Memo = Spec.isHostType(St.S->program(), T) ? 1 : 0;
+    denseAssign<int8_t>(HostTypeMemo, T, Memo, -1);
+  }
+  return Memo != 0;
+}
+
+void ContainerPattern::onNewPointsTo(PtrId P, const PointsToSet &Delta) {
   // [ColHost] / [MapHost]: container objects are their own hosts, at every
   // pointer that points to them.
   const Program &Prog = St.S->program();
   const CSManager &CSMgr = St.S->csManager();
-  for (CSObjId O : Delta) {
+  Delta.forEach([&](CSObjId O) {
     ObjId Obj = CSMgr.csObj(O).O;
-    if (Spec.isHostType(Prog, Prog.obj(Obj).Type))
+    if (typeIsHost(Prog.obj(Obj).Type))
       pendHost(P, Obj);
-  }
+  });
   drain();
 }
 
@@ -69,13 +86,15 @@ void ContainerPattern::onNewPFGEdge(PtrId Src, PtrId Dst,
       return;
     }
   }
-  auto It = Hosts.find(Src);
-  if (It != Hosts.end()) {
-    std::vector<ObjId> Existing = It->second.toVector();
-    for (ObjId H : Existing)
-      pendHost(Dst, H);
+  if (denseGet<uint8_t>(HasHosts, Src, 0)) {
+    auto It = Hosts.find(Src);
+    if (It != Hosts.end()) {
+      std::vector<ObjId> Existing = It->second.toVector();
+      for (ObjId H : Existing)
+        pendHost(Dst, H);
+    }
+    drain();
   }
-  drain();
 }
 
 void ContainerPattern::pendHost(PtrId P, ObjId H) {
@@ -91,6 +110,7 @@ void ContainerPattern::drain() {
     HostWL.pop_front();
     if (!Hosts[P].insert(H))
       continue;
+    denseAssign<uint8_t>(HasHosts, P, 1, 0);
     // Propagate along current out-edges ([PropHost]).
     for (const PFGEdge &E : St.S->pfg().succ(P))
       if (!ExcludedEdges.count(edgeKey(P, E.To)))

@@ -19,6 +19,7 @@
 
 #include "csc/CscState.h"
 #include "stdlib/ContainerSpec.h"
+#include "support/DenseTable.h"
 #include "support/Hash.h"
 #include "support/PointsToSet.h"
 
@@ -35,7 +36,7 @@ public:
 
   void onNewMethod(MethodId M);
   void onNewCallEdge(CSCallSiteId CS, CSMethodId Callee);
-  void onNewPointsTo(PtrId P, const std::vector<CSObjId> &Delta);
+  void onNewPointsTo(PtrId P, const PointsToSet &Delta);
   void onNewPFGEdge(PtrId Src, PtrId Dst, EdgeOrigin Origin);
 
   /// ptH(P): hosts associated with a pointer (for tests/diagnostics).
@@ -71,12 +72,21 @@ private:
     return (static_cast<uint64_t>(H) << 2) | static_cast<uint64_t>(C);
   }
 
+  bool typeIsHost(TypeId T);
+  bool methodIsContainer(MethodId M);
+
   CscState &St;
   const ContainerSpec &Spec;
 
   std::unordered_map<PtrId, std::vector<Sub>> RecvSubs;
   std::unordered_set<uint64_t> SeenSubs; ///< (recvPtr, stmt) dedup.
   std::unordered_map<PtrId, PointsToSet> Hosts;
+  /// Dense fast paths for the per-pop/per-edge hooks: memoized host-type
+  /// classification by TypeId and a byte per PtrId marking Hosts keys, so
+  /// the common no-host case costs no hash lookup.
+  std::vector<int8_t> HostTypeMemo;        ///< -1 unknown, else 0/1.
+  std::vector<int8_t> ContainerMethodMemo; ///< -1 unknown, else 0/1.
+  std::vector<uint8_t> HasHosts;
   std::unordered_map<uint64_t, Matches> MatchesByHostCat;
   std::unordered_set<uint64_t> ExcludedEdges; ///< Transfer return edges.
   std::deque<std::pair<PtrId, ObjId>> HostWL;

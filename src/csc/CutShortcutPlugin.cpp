@@ -1,4 +1,4 @@
-//===- CutShortcutPlugin.cpp - The Cut-Shortcut analysis -------------------===//
+//===- CutShortcutPlugin.cpp - The Cut-Shortcut analysis ------------------===//
 //
 // Part of the Cut-Shortcut pointer analysis reproduction.
 //
@@ -46,8 +46,7 @@ void CutShortcutPlugin::onNewMethod(CSMethodId M) {
     Local->onNewMethod(MI.M);
 }
 
-void CutShortcutPlugin::onNewPointsTo(PtrId Pr,
-                                      const std::vector<CSObjId> &Delta) {
+void CutShortcutPlugin::onNewPointsTo(PtrId Pr, const PointsToSet &Delta) {
   if (Field)
     Field->onNewPointsTo(Pr, Delta);
   if (Cont)

@@ -52,7 +52,7 @@ public:
 
   void onStart(Solver &S) override;
   void onNewMethod(CSMethodId M) override;
-  void onNewPointsTo(PtrId P, const std::vector<CSObjId> &Delta) override;
+  void onNewPointsTo(PtrId P, const PointsToSet &Delta) override;
   void onNewCallEdge(CSCallSiteId CS, CSMethodId Callee) override;
   void onNewPFGEdge(PtrId Src, PtrId Dst, EdgeOrigin Origin) override;
   void onFixpoint() override;

@@ -1,4 +1,4 @@
-//===- FieldAccessPattern.cpp - §3.2 / Figs. 8–9 ---------------------------===//
+//===- FieldAccessPattern.cpp - §3.2 / Figs. 8–9 --------------------------===//
 //
 // Part of the Cut-Shortcut pointer analysis reproduction.
 //
@@ -61,6 +61,7 @@ void FieldAccessPattern::markNestedCandidates(MethodId M) {
         DeferredRegistry.push_back(RV);
       St.S->addDeferredReturn(RV);
       FlushOnResolve.emplace(D, RV);
+      setFlag(HasFlushStmt, D);
     }
   }
 }
@@ -128,6 +129,7 @@ void FieldAccessPattern::addTempStore(MethodId InMethod, VarId Base,
     // store travels to every (current and future) caller.
     PropStore PS{Base, F, From, KBase, KFrom};
     PropagatingStores[InMethod].push_back(PS);
+    setFlag(HasPropStores, InMethod);
     CallGraph &CG = St.S->callGraph();
     const Program &P = St.S->program();
     CSMethodId CSM =
@@ -145,6 +147,7 @@ void FieldAccessPattern::addTempStore(MethodId InMethod, VarId Base,
   St.involveVar(Base);
   St.involveVar(From);
   TerminalByBase[Base].push_back({F, From});
+  setFlag(HasTerminalStore, Base);
   PtrId BasePtr = St.S->varPtrCI(Base);
   PtrId FromPtr = St.S->varPtrCI(From);
   const CSManager &CSM = St.S->csManager();
@@ -174,10 +177,12 @@ void FieldAccessPattern::registerCutLoadVar(MethodId M, VarId RetV,
     return;
   bool First = CutLoadRets.find(RetV) == CutLoadRets.end();
   CutLoadRets[RetV].push_back(E);
+  setFlag(HasCutLoadRet, RetV);
   if (First) {
     St.cutReturn(RetV);
     St.involve(M);
     CutLoadVarsByMethod[M].push_back(RetV);
+    setFlag(HasCutLoadVars, M);
     // Classify in-edges that already exist (the nested-discovery case,
     // where RetV was cut after its method was analyzed).
     PtrId RetPtr = St.S->varPtrCI(RetV);
@@ -224,6 +229,8 @@ bool FieldAccessPattern::isReturnLoadEdge(VarId RetV, PtrId Src) const {
 
 void FieldAccessPattern::processLoadCallEdge(const Stmt &CallStmt,
                                              MethodId Callee) {
+  if (!testFlag(HasCutLoadVars, Callee))
+    return;
   auto It = CutLoadVarsByMethod.find(Callee);
   if (It == CutLoadVarsByMethod.end())
     return;
@@ -253,6 +260,7 @@ void FieldAccessPattern::processLoadCallEdge(const Stmt &CallStmt,
       St.involveVar(CallStmt.To);
       // [ShortcutLoad]: o.F -> lhs for o in pt(ArgVar), now and later.
       TermLoadByBase[ArgVar].push_back({E.F, CallStmt.To});
+      setFlag(HasTerminalLoad, ArgVar);
       PtrId ArgPtr = St.S->varPtrCI(ArgVar);
       const CSManager &CSMgr = St.S->csManager();
       FieldId F = E.F;
@@ -280,9 +288,10 @@ void FieldAccessPattern::onNewCallEdge(CSCallSiteId CS, CSMethodId Callee) {
   const Program &P = St.S->program();
   CallGraph &CG = St.S->callGraph();
   MethodId M = CG.csMethod(Callee).M;
-  const Stmt &CallStmt = P.stmt(P.callSite(CG.csCallSite(CS).CS).S);
+  StmtId CallSId = P.callSite(CG.csCallSite(CS).CS).S;
+  const Stmt &CallStmt = P.stmt(CallSId);
 
-  if (HandleStores) {
+  if (HandleStores && testFlag(HasPropStores, M)) {
     auto It = PropagatingStores.find(M);
     if (It != PropagatingStores.end()) {
       std::vector<PropStore> Stores = It->second;
@@ -292,42 +301,44 @@ void FieldAccessPattern::onNewCallEdge(CSCallSiteId CS, CSMethodId Callee) {
   }
   if (HandleLoads) {
     processLoadCallEdge(CallStmt, M);
-    StmtId CallSId = P.callSite(CG.csCallSite(CS).CS).S;
-    auto It = FlushOnResolve.find(CallSId);
-    if (It != FlushOnResolve.end())
-      decideDeferred(CallSId, M, It->second);
+    if (testFlag(HasFlushStmt, CallSId)) {
+      auto It = FlushOnResolve.find(CallSId);
+      if (It != FlushOnResolve.end())
+        decideDeferred(CallSId, M, It->second);
+    }
   }
 }
 
-void FieldAccessPattern::onNewPointsTo(PtrId Pr,
-                                       const std::vector<CSObjId> &Delta) {
+void FieldAccessPattern::onNewPointsTo(PtrId Pr, const PointsToSet &Delta) {
   const PtrInfo &PI = St.S->csManager().ptr(Pr);
   if (PI.Kind != PtrKind::Var)
     return;
   VarId V = PI.A;
   const CSManager &CSMgr = St.S->csManager();
 
-  if (HandleStores) {
+  if (HandleStores && testFlag(HasTerminalStore, V)) {
     auto It = TerminalByBase.find(V);
     if (It != TerminalByBase.end()) {
       std::vector<TerminalStore> Stores = It->second;
       for (const TerminalStore &TS : Stores) {
         PtrId FromPtr = St.S->varPtrCI(TS.From);
-        for (CSObjId O : Delta)
+        Delta.forEach([&](CSObjId O) {
           St.shortcut(FromPtr,
                       St.S->fieldPtrCI(CSMgr.csObj(O).O, TS.F));
+        });
       }
     }
   }
-  if (HandleLoads) {
+  if (HandleLoads && testFlag(HasTerminalLoad, V)) {
     auto It = TermLoadByBase.find(V);
     if (It != TermLoadByBase.end()) {
       std::vector<TerminalLoad> Loads = It->second;
       for (const TerminalLoad &TL : Loads) {
         PtrId TargetPtr = St.S->varPtrCI(TL.Target);
-        for (CSObjId O : Delta)
+        Delta.forEach([&](CSObjId O) {
           St.shortcut(St.S->fieldPtrCI(CSMgr.csObj(O).O, TL.F),
                       TargetPtr);
+        });
       }
     }
   }
@@ -342,6 +353,8 @@ void FieldAccessPattern::onNewPFGEdge(PtrId Src, PtrId Dst,
   if (PI.Kind != PtrKind::Var)
     return;
   VarId V = PI.A;
+  if (!testFlag(HasCutLoadRet, V))
+    return;
   auto It = CutLoadRets.find(V);
   if (It == CutLoadRets.end())
     return;

@@ -29,6 +29,7 @@
 #define CSC_CSC_FIELDACCESSPATTERN_H
 
 #include "csc/CscState.h"
+#include "support/DenseTable.h"
 
 #include <unordered_map>
 #include <unordered_set>
@@ -42,7 +43,7 @@ public:
 
   void onNewMethod(MethodId M);
   void onNewCallEdge(CSCallSiteId CS, CSMethodId Callee);
-  void onNewPointsTo(PtrId P, const std::vector<CSObjId> &Delta);
+  void onNewPointsTo(PtrId P, const PointsToSet &Delta);
   void onNewPFGEdge(PtrId Src, PtrId Dst, EdgeOrigin Origin);
   void onFixpoint();
 
@@ -69,6 +70,23 @@ private:
 
   std::unordered_map<MethodId, std::vector<PropStore>> PropagatingStores;
   std::unordered_map<VarId, std::vector<TerminalStore>> TerminalByBase;
+  /// Dense fast-reject flags mirroring the sparse maps above: the solver
+  /// fires onNewPointsTo/onNewPFGEdge for every pointer, and almost no
+  /// variable has terminal stores/loads or cut returns — a byte test
+  /// avoids the hash lookup on that hot path.
+  std::vector<uint8_t> HasTerminalStore; ///< TerminalByBase keys.
+  std::vector<uint8_t> HasTerminalLoad;  ///< TermLoadByBase keys.
+  std::vector<uint8_t> HasCutLoadRet;    ///< CutLoadRets keys.
+  std::vector<uint8_t> HasPropStores;    ///< PropagatingStores keys.
+  std::vector<uint8_t> HasCutLoadVars;   ///< CutLoadVarsByMethod keys.
+  std::vector<uint8_t> HasFlushStmt;     ///< FlushOnResolve keys.
+
+  static void setFlag(std::vector<uint8_t> &F, uint32_t I) {
+    denseAssign<uint8_t>(F, I, 1, 0);
+  }
+  static bool testFlag(const std::vector<uint8_t> &F, uint32_t I) {
+    return denseGet<uint8_t>(F, I, 0) != 0;
+  }
   /// Dedup of tempStores: (Base, From) -> fields already handled.
   std::unordered_map<std::pair<uint32_t, uint32_t>,
                      std::unordered_set<FieldId>, PairHash>

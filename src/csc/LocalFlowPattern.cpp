@@ -1,4 +1,4 @@
-//===- LocalFlowPattern.cpp - §3.4 / Fig. 11 -------------------------------===//
+//===- LocalFlowPattern.cpp - §3.4 / Fig. 11 ------------------------------===//
 //
 // Part of the Cut-Shortcut pointer analysis reproduction.
 //

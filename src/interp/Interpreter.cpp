@@ -1,4 +1,4 @@
-//===- Interpreter.cpp - Concrete IR interpreter ---------------------------===//
+//===- Interpreter.cpp - Concrete IR interpreter --------------------------===//
 //
 // Part of the Cut-Shortcut pointer analysis reproduction.
 //

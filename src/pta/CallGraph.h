@@ -15,6 +15,7 @@
 #ifndef CSC_PTA_CALLGRAPH_H
 #define CSC_PTA_CALLGRAPH_H
 
+#include "support/DenseTable.h"
 #include "support/Hash.h"
 #include "support/Ids.h"
 
@@ -37,27 +38,36 @@ struct CSMethodInfo {
 class CallGraph {
 public:
   CSCallSiteId getCSCallSite(CallSiteId CS, CtxId C) {
-    auto Key = std::make_pair(CS, C);
-    auto It = CSIndex.find(Key);
-    if (It != CSIndex.end())
-      return It->second;
-    CSCallSiteId Id = static_cast<CSCallSiteId>(CSSites.size());
-    CSSites.push_back({CS, C});
-    Callees.emplace_back();
-    CSIndex.emplace(Key, Id);
-    return Id;
+    // Dense fast path for the empty context (the CI-based analyses; see
+    // CSManager for the same pattern on pointers).
+    if (C == 0) {
+      CSCallSiteId Cached = denseGet(CSSiteCI, CS, InvalidId);
+      if (Cached != InvalidId)
+        return Cached;
+      CSCallSiteId Id = internCSCallSite(CS, C);
+      denseAssign(CSSiteCI, CS, Id, InvalidId);
+      return Id;
+    }
+    return internCSCallSite(CS, C);
   }
 
   CSMethodId getCSMethod(MethodId M, CtxId C) {
-    auto Key = std::make_pair(M, C);
-    auto It = MIndex.find(Key);
-    if (It != MIndex.end())
-      return It->second;
-    CSMethodId Id = static_cast<CSMethodId>(CSMethods.size());
-    CSMethods.push_back({M, C});
-    Callers.emplace_back();
-    MIndex.emplace(Key, Id);
-    return Id;
+    if (C == 0) {
+      CSMethodId Cached = denseGet(CSMethodCI, M, InvalidId);
+      if (Cached != InvalidId)
+        return Cached;
+      CSMethodId Id = internCSMethod(M, C);
+      denseAssign(CSMethodCI, M, Id, InvalidId);
+      return Id;
+    }
+    return internCSMethod(M, C);
+  }
+
+  /// Pre-sizes the dedup tables from the program's call-site count.
+  void reserveHint(std::size_t CallSites) {
+    EdgeSet.reserve(CallSites * 2);
+    CIEdgeSet.reserve(CallSites * 2);
+    CSIndex.reserve(CallSites);
   }
 
   /// Adds a call edge; returns false if it already existed.
@@ -115,8 +125,34 @@ public:
   }
 
 private:
+  CSCallSiteId internCSCallSite(CallSiteId CS, CtxId C) {
+    auto Key = std::make_pair(CS, C);
+    auto It = CSIndex.find(Key);
+    if (It != CSIndex.end())
+      return It->second;
+    CSCallSiteId Id = static_cast<CSCallSiteId>(CSSites.size());
+    CSSites.push_back({CS, C});
+    Callees.emplace_back();
+    CSIndex.emplace(Key, Id);
+    return Id;
+  }
+
+  CSMethodId internCSMethod(MethodId M, CtxId C) {
+    auto Key = std::make_pair(M, C);
+    auto It = MIndex.find(Key);
+    if (It != MIndex.end())
+      return It->second;
+    CSMethodId Id = static_cast<CSMethodId>(CSMethods.size());
+    CSMethods.push_back({M, C});
+    Callers.emplace_back();
+    MIndex.emplace(Key, Id);
+    return Id;
+  }
+
   std::vector<CSCallSiteInfo> CSSites;
   std::vector<CSMethodInfo> CSMethods;
+  std::vector<CSCallSiteId> CSSiteCI; ///< By CallSiteId, empty ctx only.
+  std::vector<CSMethodId> CSMethodCI; ///< By MethodId, empty ctx only.
   std::unordered_map<std::pair<uint32_t, uint32_t>, CSCallSiteId, PairHash>
       CSIndex;
   std::unordered_map<std::pair<uint32_t, uint32_t>, CSMethodId, PairHash>

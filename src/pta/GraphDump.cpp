@@ -1,4 +1,4 @@
-//===- GraphDump.cpp - Graphviz export of analysis graphs ------------------===//
+//===- GraphDump.cpp - Graphviz export of analysis graphs -----------------===//
 //
 // Part of the Cut-Shortcut pointer analysis reproduction.
 //

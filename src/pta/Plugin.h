@@ -15,8 +15,7 @@
 #define CSC_PTA_PLUGIN_H
 
 #include "support/Ids.h"
-
-#include <vector>
+#include "support/PointsToSet.h"
 
 namespace csc {
 
@@ -51,8 +50,10 @@ public:
   /// A (method, context) became reachable; fired before its statements are
   /// processed, so cut sets registered here suppress that method's edges.
   virtual void onNewMethod(CSMethodId M);
-  /// pt(P) grew by Delta (already inserted).
-  virtual void onNewPointsTo(PtrId P, const std::vector<CSObjId> &Delta);
+  /// pt(P) grew by Delta (already inserted). The delta is a set the solver
+  /// reuses across iterations: consume it inside the hook (forEach or bulk
+  /// ops); do not keep the reference.
+  virtual void onNewPointsTo(PtrId P, const PointsToSet &Delta);
   /// A new call edge was added; fired before parameter/return edges.
   virtual void onNewCallEdge(CSCallSiteId CS, CSMethodId Callee);
   /// A new PFG edge Src -> Dst was added.

@@ -32,15 +32,38 @@ struct PFGEdge {
 class PointerFlowGraph {
 public:
   /// Adds s -> t (with optional cast filter); returns false if present.
+  /// Dedup is hybrid: low-degree sources scan their (short) successor
+  /// list, only sources past SmallDegree pay for hashed membership — the
+  /// common case in the solver hot path is a handful of out-edges.
   bool addEdge(PtrId S, PtrId T, TypeId Filter) {
-    EdgeKey Key{S, T, Filter};
-    if (!Edges.insert(Key).second)
-      return false;
     ensure(std::max(S, T));
-    Succ[S].push_back({T, Filter});
+    std::vector<PFGEdge> &Out = Succ[S];
+    if (Out.size() <= SmallDegree) {
+      for (const PFGEdge &E : Out)
+        if (E.To == T && E.Filter == Filter)
+          return false;
+      if (Out.size() == SmallDegree) {
+        // Crossing the threshold: seed the hash set with every edge of
+        // this source (including the new one) before switching over.
+        for (const PFGEdge &E : Out)
+          Edges.insert({S, E.To, E.Filter});
+        Edges.insert({S, T, Filter});
+      }
+    } else if (!Edges.insert({S, T, Filter}).second) {
+      return false;
+    }
+    Out.push_back({T, Filter});
     Pred[T].push_back(S);
     ++NumEdges;
     return true;
+  }
+
+  /// Pre-sizes the node tables and the high-degree dedup set (rehash
+  /// storms on the hot path showed up in profiles).
+  void reserveHint(std::size_t Nodes, std::size_t Edges) {
+    Succ.reserve(Nodes);
+    Pred.reserve(Nodes);
+    this->Edges.reserve(Edges / 4);
   }
 
   const std::vector<PFGEdge> &succ(PtrId P) const {
@@ -76,6 +99,9 @@ private:
       Pred.resize(P + 1);
     }
   }
+
+  /// Sources with at most this many out-edges dedup by linear scan.
+  static constexpr std::size_t SmallDegree = 8;
 
   std::vector<std::vector<PFGEdge>> Succ;
   std::vector<std::vector<PtrId>> Pred;

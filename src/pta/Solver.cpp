@@ -16,7 +16,7 @@ ContextSelector::~ContextSelector() = default;
 SolverPlugin::~SolverPlugin() = default;
 void SolverPlugin::onStart(Solver &) {}
 void SolverPlugin::onNewMethod(CSMethodId) {}
-void SolverPlugin::onNewPointsTo(PtrId, const std::vector<CSObjId> &) {}
+void SolverPlugin::onNewPointsTo(PtrId, const PointsToSet &) {}
 void SolverPlugin::onNewCallEdge(CSCallSiteId, CSMethodId) {}
 void SolverPlugin::onNewPFGEdge(PtrId, PtrId, EdgeOrigin) {}
 void SolverPlugin::onFixpoint() {}
@@ -31,6 +31,13 @@ Solver::Solver(const Program &P, SolverOptions Opts) : P(P), Opts(Opts) {
   }
   CutStores.assign(P.numStmts(), 0);
   CutReturns.assign(P.numVars(), 0);
+
+  // Capacity hints proportional to program size: the dedup tables are on
+  // the propagation hot path and rehash storms showed up in profiles.
+  CSM.reserveHint(P.numVars(), P.numObjs());
+  CG.reserveHint(P.numCallSites());
+  PFG.reserveHint(P.numVars(), 2 * static_cast<std::size_t>(P.numStmts()));
+  ShortcutEdgeKeys.reserve(P.numStmts() / 4);
 
   // Index statements by their base variable so points-to growth of a base
   // triggers exactly the dependent loads/stores/calls.
@@ -95,7 +102,11 @@ void Solver::undeferReturn(VarId V) {
 }
 
 bool Solver::addShortcutEdge(PtrId Src, PtrId Dst) {
-  ShortcutEdgeKeys.insert(packPair(Src, Dst));
+  // The key set doubles as the dedup: patterns re-derive the same
+  // shortcut for every points-to delta, and a repeat means the PFG edge
+  // was already added by the first call.
+  if (!ShortcutEdgeKeys.insert(packPair(Src, Dst)).second)
+    return false;
   return addPFGEdge(Src, Dst, InvalidId, EdgeOrigin::Shortcut);
 }
 
@@ -115,10 +126,22 @@ void Solver::markDirty(PtrId Pr) {
   }
 }
 
-bool Solver::passesFilter(CSObjId O, TypeId Filter) const {
-  if (Filter == InvalidId)
-    return true;
-  return P.isSubtype(P.obj(CSM.csObj(O).O).Type, Filter);
+const PointsToSet &Solver::filterMask(TypeId Filter) {
+  if (Filter >= FilterMasks.size()) {
+    FilterMasks.resize(Filter + 1);
+    FilterMaskCover.resize(Filter + 1, 0);
+  }
+  PointsToSet &M = FilterMasks[Filter];
+  uint32_t N = CSM.numCSObjs();
+  uint32_t &Covered = FilterMaskCover[Filter];
+  if (Covered < N) {
+    M.ensureBitmap();
+    for (CSObjId O = Covered; O < N; ++O)
+      if (P.isSubtype(P.obj(CSM.csObj(O).O).Type, Filter))
+        M.insert(O);
+    Covered = N;
+  }
+  return M;
 }
 
 void Solver::enqueueObj(PtrId Pr, CSObjId O) {
@@ -126,8 +149,8 @@ void Solver::enqueueObj(PtrId Pr, CSObjId O) {
   if (Opts.DeltaPropagation) {
     if (Pts[Pr].contains(O))
       return;
-    Pending[Pr].push_back(O);
-    markDirty(Pr);
+    if (Pending[Pr].insert(O))
+      markDirty(Pr);
     return;
   }
   if (Pts[Pr].insert(O)) {
@@ -137,17 +160,26 @@ void Solver::enqueueObj(PtrId Pr, CSObjId O) {
 }
 
 void Solver::enqueueSet(PtrId Pr, const PointsToSet &Set, TypeId Filter) {
-  Set.forEach([&](CSObjId O) {
-    if (passesFilter(O, Filter))
-      enqueueObj(Pr, O);
-  });
-}
-
-void Solver::enqueueDelta(PtrId Pr, const std::vector<CSObjId> &Delta,
-                          TypeId Filter) {
-  for (CSObjId O : Delta)
-    if (passesFilter(O, Filter))
-      enqueueObj(Pr, O);
+  ensurePtr(Pr);
+  if (Opts.DeltaPropagation) {
+    // Pending |= (Set ∩ mask) ∖ Pts: one word-parallel pass; only
+    // genuinely new facts queue work.
+    uint32_t Added =
+        Filter == InvalidId
+            ? Pending[Pr].unionWithExcluding(Set, Pts[Pr])
+            : Pending[Pr].unionWithFiltered(Set, filterMask(Filter),
+                                            Pts[Pr]);
+    if (Added)
+      markDirty(Pr);
+    return;
+  }
+  uint32_t Added = Filter == InvalidId
+                       ? Pts[Pr].unionWith(Set)
+                       : Pts[Pr].unionWithFiltered(Set, filterMask(Filter));
+  if (Added) {
+    Stats.PtsInsertions += Added;
+    markDirty(Pr);
+  }
 }
 
 bool Solver::addPFGEdge(PtrId Src, PtrId Dst, TypeId Filter,
@@ -276,7 +308,7 @@ void Solver::processCallOnReceiver(const Stmt &S, CtxId CallerCtx,
     processCallEdge(CS, CSCallee, S, CallerCtx, CalleeCtx);
 }
 
-void Solver::processPointer(PtrId Pr, const std::vector<CSObjId> &Delta) {
+void Solver::processPointer(PtrId Pr, const PointsToSet &Delta) {
   const PtrInfo &PI = CSM.ptr(Pr);
   if (PI.Kind == PtrKind::Var) {
     VarId V = PI.A;
@@ -284,39 +316,49 @@ void Solver::processPointer(PtrId Pr, const std::vector<CSObjId> &Delta) {
     for (StmtId SId : BaseUses[V]) {
       const Stmt &S = P.stmt(SId);
       switch (S.Kind) {
-      case StmtKind::Load:
-        for (CSObjId O : Delta)
-          addPFGEdge(fieldPtr(O, S.Field), varPtr(S.To, C), InvalidId,
+      case StmtKind::Load: {
+        PtrId To = varPtr(S.To, C); // Loop-invariant: intern once.
+        Delta.forEach([&](CSObjId O) {
+          addPFGEdge(fieldPtr(O, S.Field), To, InvalidId,
                      EdgeOrigin::Load);
+        });
         break;
+      }
       case StmtKind::Store:
         // [Store]: suppressed for statements in cutStores.
-        if (!isCutStore(SId))
-          for (CSObjId O : Delta)
-            addPFGEdge(varPtr(S.From, C), fieldPtr(O, S.Field), InvalidId,
+        if (!isCutStore(SId)) {
+          PtrId From = varPtr(S.From, C);
+          Delta.forEach([&](CSObjId O) {
+            addPFGEdge(From, fieldPtr(O, S.Field), InvalidId,
                        EdgeOrigin::Store);
-        break;
-      case StmtKind::ArrayLoad:
-        for (CSObjId O : Delta) {
-          if (!P.obj(CSM.csObj(O).O).IsArray)
-            continue;
-          addPFGEdge(CSM.getArrayPtr(O), varPtr(S.To, C), InvalidId,
-                     EdgeOrigin::ArrayLoad);
+          });
         }
         break;
-      case StmtKind::ArrayStore:
-        for (CSObjId O : Delta) {
+      case StmtKind::ArrayLoad: {
+        PtrId To = varPtr(S.To, C);
+        Delta.forEach([&](CSObjId O) {
+          if (!P.obj(CSM.csObj(O).O).IsArray)
+            return;
+          addPFGEdge(CSM.getArrayPtr(O), To, InvalidId,
+                     EdgeOrigin::ArrayLoad);
+        });
+        break;
+      }
+      case StmtKind::ArrayStore: {
+        PtrId From = varPtr(S.From, C);
+        Delta.forEach([&](CSObjId O) {
           const ObjInfo &OI = P.obj(CSM.csObj(O).O);
           if (!OI.IsArray)
-            continue;
+            return;
           // Runtime array-store check: filter by the array's element type.
-          addPFGEdge(varPtr(S.From, C), CSM.getArrayPtr(O),
+          addPFGEdge(From, CSM.getArrayPtr(O),
                      P.type(OI.Type).ArrayElem, EdgeOrigin::ArrayStore);
-        }
+        });
         break;
+      }
       case StmtKind::Invoke:
-        for (CSObjId O : Delta)
-          processCallOnReceiver(S, C, O);
+        Delta.forEach(
+            [&](CSObjId O) { processCallOnReceiver(S, C, O); });
         break;
       default:
         break;
@@ -337,7 +379,9 @@ PTAResult Solver::solve() {
   assert(P.entry() != InvalidId && "program has no entry point");
   addReachable(P.entry(), CM.empty());
 
-  std::vector<CSObjId> Delta;
+  // Scratch sets reused across iterations (buffers survive clear()).
+  PointsToSet Delta;
+  PointsToSet FullSet;
   bool MoreRounds = true;
   while (MoreRounds) {
     while (!Queue.empty()) {
@@ -356,27 +400,27 @@ PTAResult Solver::solve() {
       InQueue[Pr] = 0;
 
       if (Opts.DeltaPropagation) {
-        std::vector<CSObjId> PendingObjs;
-        PendingObjs.swap(Pending[Pr]);
-        Delta.clear();
-        for (CSObjId O : PendingObjs)
-          if (Pts[Pr].insert(O)) {
-            ++Stats.PtsInsertions;
-            Delta.push_back(O);
-          }
-        if (Delta.empty())
+        // Merge the pending facts in one word-parallel union; Delta
+        // receives exactly the genuinely new elements.
+        uint32_t Added = Pts[Pr].unionWith(Pending[Pr], Delta);
+        Pending[Pr].clear();
+        if (!Added)
           continue;
+        Stats.PtsInsertions += Added;
         for (const PFGEdge &E : PFG.succ(Pr))
-          enqueueDelta(E.To, Delta, E.Filter);
+          enqueueSet(E.To, Delta, E.Filter);
         processPointer(Pr, Delta);
       } else {
         // Full re-propagation (Doop-style): reprocess the complete set.
-        Delta = Pts[Pr].toVector();
-        if (Delta.empty())
+        // The snapshot is a word-level copy and the per-edge unions diff
+        // against each target, so this mode measures the strategy's
+        // re-processing cost, not per-element copy cost.
+        if (Pts[Pr].empty())
           continue;
+        FullSet = Pts[Pr];
         for (const PFGEdge &E : PFG.succ(Pr))
-          enqueueSet(E.To, Pts[Pr], E.Filter);
-        processPointer(Pr, Delta);
+          enqueueSet(E.To, FullSet, E.Filter);
+        processPointer(Pr, FullSet);
       }
     }
     // Worklist drained (or budget hit): give plugins a chance to resolve

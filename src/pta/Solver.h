@@ -136,10 +136,8 @@ private:
   bool addPFGEdge(PtrId Src, PtrId Dst, TypeId Filter, EdgeOrigin Origin);
   void enqueueObj(PtrId Pr, CSObjId O);
   void enqueueSet(PtrId Pr, const PointsToSet &Set, TypeId Filter);
-  void enqueueDelta(PtrId Pr, const std::vector<CSObjId> &Delta,
-                    TypeId Filter);
-  bool passesFilter(CSObjId O, TypeId Filter) const;
-  void processPointer(PtrId Pr, const std::vector<CSObjId> &Delta);
+  const PointsToSet &filterMask(TypeId Filter);
+  void processPointer(PtrId Pr, const PointsToSet &Delta);
   void markDirty(PtrId Pr);
   void ensurePtr(PtrId Pr);
   void buildProjection(PTAResult &R);
@@ -157,11 +155,19 @@ private:
 
   // Per-pointer state (indexed by PtrId). Pts is a deque so references to
   // individual sets stay valid while new pointers are interned mid-flight
-  // (enqueueSet iterates a source set while growing the tables).
+  // (enqueueSet unions from a source set while growing the tables).
   std::deque<PointsToSet> Pts;
-  std::vector<std::vector<CSObjId>> Pending;
+  std::vector<PointsToSet> Pending; ///< Facts awaiting the pointer's pop.
   std::vector<uint8_t> InQueue;
   std::deque<PtrId> Queue;
+
+  // Lazily built per-type bitmaps over the CSObjId space: FilterMasks[T]
+  // holds every interned object whose type is a subtype of T, so filtered
+  // (cast / array-store) propagation is a word-parallel intersection
+  // instead of a per-element subtype test. Extended on use as objects are
+  // interned; object types never change, so the masks are append-only.
+  std::vector<PointsToSet> FilterMasks;
+  std::vector<uint32_t> FilterMaskCover; ///< #objs already classified.
 
   // Cut sets (dynamic bitsets over StmtId / VarId).
   std::vector<uint8_t> CutStores;

@@ -1,4 +1,4 @@
-//===- Stdlib.cpp - Modelled standard library ------------------------------===//
+//===- Stdlib.cpp - Modelled standard library -----------------------------===//
 //
 // Part of the Cut-Shortcut pointer analysis reproduction.
 //

@@ -43,6 +43,21 @@ inline unsigned countTrailingZeros(uint64_t Word) {
 #endif
 }
 
+/// Number of set bits of \p Word (C++17-portable stand-in for
+/// std::popcount).
+inline unsigned popCount(uint64_t Word) {
+#if defined(__GNUC__) || defined(__clang__)
+  return static_cast<unsigned>(__builtin_popcountll(Word));
+#else
+  unsigned N = 0;
+  while (Word) {
+    Word &= Word - 1;
+    ++N;
+  }
+  return N;
+#endif
+}
+
 /// Packs two 32-bit ids into one lossless 64-bit key, \p Hi in the high
 /// word. All entity ids (PtrId, StmtId, CallSiteId, ...) are 32-bit dense
 /// indices, so this never truncates; use it wherever an (id, id) pair keys

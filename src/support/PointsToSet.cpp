@@ -12,6 +12,29 @@ using namespace csc;
 
 bool PointsToSet::insert(uint32_t O) {
   if (!UseBits) {
+    if (Small.empty()) {
+      // Inline tier: the first few elements live in the object itself,
+      // so the typical tiny set never touches the heap.
+      uint32_t I = 0;
+      while (I < Count && Inline[I] < O)
+        ++I;
+      if (I < Count && Inline[I] == O)
+        return false;
+      if (Count < InlineLimit) {
+        for (uint32_t J = Count; J > I; --J)
+          Inline[J] = Inline[J - 1];
+        Inline[I] = O;
+        ++Count;
+        return true;
+      }
+      // Overflow: spill the inline elements (plus O) into Small, sized
+      // for the full small tier in one allocation.
+      Small.reserve(SmallLimit);
+      Small.assign(Inline, Inline + InlineLimit);
+      Small.insert(Small.begin() + I, O);
+      ++Count;
+      return true;
+    }
     auto It = std::lower_bound(Small.begin(), Small.end(), O);
     if (It != Small.end() && *It == O)
       return false;
@@ -34,24 +57,44 @@ bool PointsToSet::insert(uint32_t O) {
 }
 
 bool PointsToSet::contains(uint32_t O) const {
-  if (!UseBits)
+  if (!UseBits) {
+    if (Small.empty()) {
+      for (uint32_t I = 0; I < Count; ++I)
+        if (Inline[I] == O)
+          return true;
+      return false;
+    }
     return std::binary_search(Small.begin(), Small.end(), O);
+  }
   size_t Word = O / 64;
   if (Word >= Bits.size())
     return false;
   return (Bits[Word] >> (O % 64)) & 1;
 }
 
+void PointsToSet::clear() {
+  // O(1): reverting to the small representation empties the word vector
+  // (capacity is retained, and vector growth zero-fills re-exposed words),
+  // so scratch sets clear for free no matter how large they once were.
+  Small.clear();
+  Bits.clear();
+  UseBits = false;
+  Count = 0;
+}
+
 void PointsToSet::promote() {
+  // Bits is empty here: insert-driven growth keeps it tight and clear()
+  // empties it, so Bits.size() is always the exact word extent (max id
+  // seen / 64 + 1) — bulk operations never scan stale capacity.
+  uint32_t N;
+  const uint32_t *Elems = smallData(N);
   UseBits = true;
-  if (!Small.empty()) {
-    size_t Words = Small.back() / 64 + 1;
-    Bits.resize(Words, 0);
-    for (uint32_t O : Small)
-      Bits[O / 64] |= 1ULL << (O % 64);
+  if (N != 0) {
+    Bits.resize(Elems[N - 1] / 64 + 1, 0);
+    for (uint32_t I = 0; I != N; ++I)
+      Bits[Elems[I] / 64] |= 1ULL << (Elems[I] % 64);
   }
   Small.clear();
-  Small.shrink_to_fit();
 }
 
 std::vector<uint32_t> PointsToSet::toVector() const {
@@ -61,11 +104,208 @@ std::vector<uint32_t> PointsToSet::toVector() const {
   return Out;
 }
 
+//===----------------------------------------------------------------------===//
+// Word-parallel bulk operations
+//===----------------------------------------------------------------------===//
+
+/// The shared union kernel: this |= ((Other ∩ Mask) ∖ Exclude), with new
+/// elements reported through DeltaOut. Null Mask/Exclude/DeltaOut skip the
+/// respective step. Word-parallel whenever every participating operand is
+/// in bitmap representation; small operands fall back to element-at-a-time
+/// (they hold at most SmallLimit elements, so the fallback is cheap).
+uint32_t PointsToSet::unionImpl(const PointsToSet &Other,
+                                const PointsToSet *Mask,
+                                const PointsToSet *Exclude,
+                                PointsToSet *DeltaOut) {
+  if (DeltaOut)
+    DeltaOut->clear();
+  if (Other.empty() || &Other == this)
+    return 0;
+
+  bool WordParallel = Other.UseBits && (!Mask || Mask->UseBits) &&
+                      (!Exclude || Exclude->UseBits);
+  uint32_t Added = 0;
+  if (!WordParallel) {
+    Other.forEach([&](uint32_t O) {
+      if (Mask && !Mask->contains(O))
+        return;
+      if (Exclude && Exclude->contains(O))
+        return;
+      if (insert(O)) {
+        ++Added;
+        if (DeltaOut)
+          DeltaOut->insert(O);
+      }
+    });
+    return Added;
+  }
+
+  const size_t Words = Other.Bits.size();
+  if (!UseBits) {
+    // A masked/excluded union may shrink far below Other's size, so count
+    // the incoming elements word-parallel first: if everything fits under
+    // the promotion threshold the set stays a small vector (huge bitmaps
+    // must not leak into the many tiny sets a run produces). Unmasked
+    // unions skip the pre-pass — Other alone already exceeds the limit.
+    uint64_t Incoming = Other.Count;
+    if (Mask || Exclude) {
+      Incoming = 0;
+      for (size_t W = 0; W < Words && Count + Incoming <= SmallLimit; ++W) {
+        uint64_t In = Other.Bits[W];
+        if (Mask)
+          In &= Mask->wordAt(W);
+        if (Exclude)
+          In &= ~Exclude->wordAt(W);
+        Incoming += popCount(In);
+      }
+    }
+    if (Count + Incoming <= SmallLimit) {
+      for (size_t W = 0; W < Words; ++W) {
+        uint64_t In = Other.Bits[W];
+        if (Mask)
+          In &= Mask->wordAt(W);
+        if (Exclude)
+          In &= ~Exclude->wordAt(W);
+        while (In) {
+          uint32_t O = static_cast<uint32_t>(W * 64 + countTrailingZeros(In));
+          In &= In - 1;
+          if (insert(O)) {
+            ++Added;
+            if (DeltaOut)
+              DeltaOut->insert(O);
+          }
+        }
+      }
+      return Added;
+    }
+    promote();
+  }
+
+  if (Bits.size() < Words)
+    Bits.resize(Words, 0);
+  for (size_t W = 0; W < Words; ++W) {
+    uint64_t In = Other.Bits[W];
+    if (!In)
+      continue;
+    if (Mask)
+      In &= Mask->wordAt(W);
+    if (Exclude)
+      In &= ~Exclude->wordAt(W);
+    uint64_t New = In & ~Bits[W];
+    if (!New)
+      continue;
+    Bits[W] |= New;
+    Added += popCount(New);
+    if (DeltaOut) {
+      uint64_t Rest = New;
+      while (Rest) {
+        DeltaOut->insert(
+            static_cast<uint32_t>(W * 64 + countTrailingZeros(Rest)));
+        Rest &= Rest - 1;
+      }
+    }
+  }
+  Count += Added;
+  return Added;
+}
+
+uint32_t PointsToSet::unionWith(const PointsToSet &Other) {
+  return unionImpl(Other, nullptr, nullptr, nullptr);
+}
+
+uint32_t PointsToSet::unionWith(const PointsToSet &Other,
+                                PointsToSet &DeltaOut) {
+  return unionImpl(Other, nullptr, nullptr, &DeltaOut);
+}
+
+uint32_t PointsToSet::unionWithFiltered(const PointsToSet &Other,
+                                        const PointsToSet &Mask) {
+  return unionImpl(Other, &Mask, nullptr, nullptr);
+}
+
+uint32_t PointsToSet::unionWithFiltered(const PointsToSet &Other,
+                                        const PointsToSet &Mask,
+                                        const PointsToSet &Exclude) {
+  return unionImpl(Other, &Mask, &Exclude, nullptr);
+}
+
+uint32_t PointsToSet::unionWithExcluding(const PointsToSet &Other,
+                                         const PointsToSet &Exclude) {
+  return unionImpl(Other, nullptr, &Exclude, nullptr);
+}
+
+PointsToSet PointsToSet::intersectWith(const PointsToSet &Other) const {
+  PointsToSet Out;
+  if (UseBits && Other.UseBits) {
+    size_t Words = std::min(Bits.size(), Other.Bits.size());
+    size_t Needed = 0;
+    for (size_t W = 0; W < Words; ++W)
+      if (Bits[W] & Other.Bits[W])
+        Needed = W + 1;
+    uint32_t Common = 0;
+    for (size_t W = 0; W < Needed; ++W)
+      Common += popCount(Bits[W] & Other.Bits[W]);
+    if (Common > SmallLimit) {
+      Out.UseBits = true;
+      Out.Bits.resize(Needed, 0);
+      for (size_t W = 0; W < Needed; ++W)
+        Out.Bits[W] = Bits[W] & Other.Bits[W];
+      Out.Count = Common;
+      return Out;
+    }
+    for (size_t W = 0; W < Needed; ++W) {
+      uint64_t Word = Bits[W] & Other.Bits[W];
+      while (Word) {
+        Out.insert(static_cast<uint32_t>(W * 64 + countTrailingZeros(Word)));
+        Word &= Word - 1;
+      }
+    }
+    return Out;
+  }
+  // At least one side is small: iterate it, probe the other.
+  const PointsToSet &S = !UseBits ? *this : Other;
+  const PointsToSet &L = !UseBits ? Other : *this;
+  uint32_t N;
+  const uint32_t *Elems = S.smallData(N);
+  for (uint32_t I = 0; I != N; ++I)
+    if (L.contains(Elems[I]))
+      Out.insert(Elems[I]);
+  return Out;
+}
+
+uint32_t PointsToSet::intersectCount(const PointsToSet &Other) const {
+  if (UseBits && Other.UseBits) {
+    size_t Words = std::min(Bits.size(), Other.Bits.size());
+    uint32_t N = 0;
+    for (size_t W = 0; W < Words; ++W)
+      N += popCount(Bits[W] & Other.Bits[W]);
+    return N;
+  }
+  const PointsToSet &S = !UseBits ? *this : Other;
+  const PointsToSet &L = !UseBits ? Other : *this;
+  uint32_t N;
+  const uint32_t *Elems = S.smallData(N);
+  uint32_t Common = 0;
+  for (uint32_t I = 0; I != N; ++I)
+    if (L.contains(Elems[I]))
+      ++Common;
+  return Common;
+}
+
 bool PointsToSet::intersects(const PointsToSet &Other) const {
-  // Iterate the smaller set, probe the larger one.
-  const PointsToSet &A = size() <= Other.size() ? *this : Other;
-  const PointsToSet &B = size() <= Other.size() ? Other : *this;
-  bool Found = false;
-  A.forEach([&](uint32_t O) { Found = Found || B.contains(O); });
-  return Found;
+  if (UseBits && Other.UseBits) {
+    size_t Words = std::min(Bits.size(), Other.Bits.size());
+    for (size_t W = 0; W < Words; ++W)
+      if (Bits[W] & Other.Bits[W])
+        return true;
+    return false;
+  }
+  const PointsToSet &S = !UseBits ? *this : Other;
+  const PointsToSet &L = !UseBits ? Other : *this;
+  uint32_t N;
+  const uint32_t *Elems = S.smallData(N);
+  for (uint32_t I = 0; I != N; ++I)
+    if (L.contains(Elems[I]))
+      return true;
+  return false;
 }

@@ -5,11 +5,19 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// The points-to set representation used by the solver. Small sets are kept
-/// as sorted unique vectors (cheap to iterate, cache friendly); once a set
-/// grows past a threshold it is promoted to a bitmap, which makes the very
-/// hot insert/contains operations O(1) for the handful of huge sets that a
-/// context-insensitive analysis produces.
+/// The points-to set representation used by the solver, with three tiers:
+/// the first few elements live inline in the object (no heap allocation at
+/// all — the vast majority of sets an analysis produces stay this small),
+/// mid-size sets are sorted unique vectors (cheap to iterate, cache
+/// friendly), and once a set grows past a threshold it is promoted to a
+/// bitmap, which makes the very hot insert/contains operations O(1) for
+/// the handful of huge sets that a context-insensitive analysis produces.
+///
+/// Beyond element-at-a-time insert/contains, the set supports word-parallel
+/// bulk operations — union (with the newly added elements reported as a
+/// delta), masked union (set-valued type filters), exclusion (pending-work
+/// diffing) and intersection — which the solver uses to move whole
+/// points-to sets per step instead of materializing per-element copies.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -37,11 +45,59 @@ public:
   uint32_t size() const { return Count; }
   bool empty() const { return Count == 0; }
 
+  /// Removes every element. Keeps allocated buffers so scratch sets can be
+  /// reused across solver iterations without churn; reverts to the
+  /// small-vector representation.
+  void clear();
+
+  /// Forces the bitmap representation (used for long-lived filter masks
+  /// that bulk operations should always be able to intersect with
+  /// word-parallel).
+  void ensureBitmap() {
+    if (!UseBits)
+      promote();
+  }
+
+  //===--------------------------------------------------------------------===
+  // Word-parallel bulk operations
+  //===--------------------------------------------------------------------===
+
+  /// this |= Other. Returns the number of newly inserted elements.
+  uint32_t unionWith(const PointsToSet &Other);
+
+  /// this |= Other; the newly inserted elements are collected into
+  /// \p DeltaOut (cleared first). Returns the number of new elements.
+  uint32_t unionWith(const PointsToSet &Other, PointsToSet &DeltaOut);
+
+  /// this |= (Other ∩ Mask). Returns the number of new elements.
+  uint32_t unionWithFiltered(const PointsToSet &Other,
+                             const PointsToSet &Mask);
+
+  /// this |= (Other ∩ Mask) ∖ Exclude. Returns the number of new elements.
+  uint32_t unionWithFiltered(const PointsToSet &Other,
+                             const PointsToSet &Mask,
+                             const PointsToSet &Exclude);
+
+  /// this |= (Other ∖ Exclude). Returns the number of new elements.
+  uint32_t unionWithExcluding(const PointsToSet &Other,
+                              const PointsToSet &Exclude);
+
+  /// The elements common to both sets.
+  PointsToSet intersectWith(const PointsToSet &Other) const;
+
+  /// |this ∩ Other| without materializing the intersection.
+  uint32_t intersectCount(const PointsToSet &Other) const;
+
+  /// Returns true if this set and \p Other share an element.
+  bool intersects(const PointsToSet &Other) const;
+
   /// Calls \p Fn(ObjId) for every element in ascending id order.
   template <typename F> void forEach(F &&Fn) const {
     if (!UseBits) {
-      for (uint32_t O : Small)
-        Fn(O);
+      uint32_t N;
+      const uint32_t *Elems = smallData(N);
+      for (uint32_t I = 0; I != N; ++I)
+        Fn(Elems[I]);
       return;
     }
     for (std::size_t W = 0, E = Bits.size(); W != E; ++W) {
@@ -57,16 +113,30 @@ public:
   /// All elements, ascending. Convenience for tests and clients.
   std::vector<uint32_t> toVector() const;
 
-  /// Returns true if this set and \p Other share an element.
-  bool intersects(const PointsToSet &Other) const;
-
 private:
   void promote();
+  uint32_t unionImpl(const PointsToSet &Other, const PointsToSet *Mask,
+                     const PointsToSet *Exclude, PointsToSet *DeltaOut);
+  uint64_t wordAt(std::size_t W) const {
+    return W < Bits.size() ? Bits[W] : 0;
+  }
+  /// Contiguous elements while !UseBits (inline buffer or Small vector).
+  const uint32_t *smallData(uint32_t &N) const {
+    if (Small.empty()) {
+      N = Count;
+      return Inline;
+    }
+    N = static_cast<uint32_t>(Small.size());
+    return Small.data();
+  }
+  bool inlineMode() const { return !UseBits && Small.empty(); }
 
+  static constexpr uint32_t InlineLimit = 4;
   static constexpr uint32_t SmallLimit = 24;
 
-  std::vector<uint32_t> Small;  ///< Sorted unique ids while !UseBits.
-  std::vector<uint64_t> Bits;   ///< Bitmap words once promoted.
+  uint32_t Inline[InlineLimit] = {}; ///< Sorted ids while inlineMode().
+  std::vector<uint32_t> Small;   ///< Sorted unique ids while !UseBits.
+  std::vector<uint64_t> Bits;    ///< Bitmap words once promoted.
   uint32_t Count = 0;
   bool UseBits = false;
 };

@@ -1,4 +1,4 @@
-//===- Workload.cpp - Synthetic benchmark generator ------------------------===//
+//===- Workload.cpp - Synthetic benchmark generator -----------------------===//
 //
 // Part of the Cut-Shortcut pointer analysis reproduction.
 //
@@ -25,6 +25,10 @@ public:
     emitEntities();
     emitFamilies();
     emitUtil();
+    if (C.CallChainDepth > 0)
+      emitChain();
+    if (C.NumSharedHubs > 0)
+      emitHubs();
     if (C.BombDepth > 0 && C.BombWidth > 0)
       emitBomb();
     emitScenarios();
@@ -84,6 +88,16 @@ private:
       OS << "  method getLink(): " << Link << " {\n"
          << "    var r: " << Link << ";\n    r = this.link;\n"
          << "    return r;\n  }\n";
+      // Extra value slots (field-density knob): independent fields with
+      // their own accessor pairs, each a field-pattern candidate.
+      for (uint32_t F = 1; F < C.FieldDensity; ++F) {
+        OS << "  field val_" << F << ": Object;\n";
+        OS << "  method setVal_" << F << "(v: Object): void {\n"
+           << "    this.val_" << F << " = v;\n  }\n";
+        OS << "  method getVal_" << F << "(): Object {\n"
+           << "    var r: Object;\n    r = this.val_" << F << ";\n"
+           << "    return r;\n  }\n";
+      }
       // Wrapper chains: nested calls for field access (§3.2.3).
       for (uint32_t D = 1; D <= C.WrapperDepth; ++D) {
         std::string Inner =
@@ -148,6 +162,61 @@ private:
          << "    if ? {\n      r = a;\n    } else {\n      r = b;\n    }\n"
          << "    return r;\n  }\n";
     }
+    OS << "}\n";
+  }
+
+  //===------------------------------------------------------------------===//
+  // Shared container hubs: static ArrayList registries initialized once
+  // and used by every scenario. Their element sets accumulate entities
+  // program-wide (global caches in real programs), so retrievals move
+  // large points-to sets through the PFG.
+  //===------------------------------------------------------------------===//
+
+  void emitHubs() {
+    OS << "class Hub {\n";
+    for (uint32_t K = 0; K < C.NumSharedHubs; ++K)
+      OS << "  static field list_" << K << ": ArrayList;\n";
+    OS << "  static method init(): void {\n";
+    for (uint32_t K = 0; K < C.NumSharedHubs; ++K)
+      OS << "    var l" << K << ": ArrayList;\n"
+         << "    l" << K << " = new ArrayList;\n"
+         << "    dcall l" << K << ".ArrayList.init();\n"
+         << "    Hub::list_" << K << " = l" << K << ";\n";
+    OS << "  }\n}\n";
+  }
+
+  /// Stores a fresh entity into a shared hub and retrieves one back with a
+  /// downcast: the hub's element set spans every contributing scenario.
+  void emitHubAction(const std::string &Id) {
+    uint32_t K = R.nextInRange(C.NumSharedHubs);
+    uint32_t EI = R.nextInRange(touchedClasses());
+    std::string E = ent(EI);
+    OS << "    var gl" << Id << ": ArrayList;\n"
+       << "    gl" << Id << " = Hub::list_" << K << ";\n"
+       << "    var ge" << Id << ": " << E << ";\n"
+       << "    ge" << Id << " = new " << E << ";\n"
+       << "    call gl" << Id << ".add(ge" << Id << ");\n"
+       << "    var go" << Id << ": Object;\n"
+       << "    go" << Id << " = call gl" << Id << ".get();\n"
+       << "    var gc" << Id << ": " << E << ";\n"
+       << "    gc" << Id << " = (" << E << ") go" << Id << ";\n";
+  }
+
+  //===------------------------------------------------------------------===//
+  // Static relay chain (call-depth knob): relay_D forwards through D
+  // nested static calls down to the identity relay_0. Local-flow material
+  // at depth; every chain action shares the same merged chain variables.
+  //===------------------------------------------------------------------===//
+
+  void emitChain() {
+    OS << "class Chain {\n"
+       << "  static method relay_0(x: Object): Object {\n"
+       << "    return x;\n  }\n";
+    for (uint32_t D = 1; D <= C.CallChainDepth; ++D)
+      OS << "  static method relay_" << D << "(x: Object): Object {\n"
+         << "    var r: Object;\n"
+         << "    r = scall Chain.relay_" << (D - 1) << "(x);\n"
+         << "    return r;\n  }\n";
     OS << "}\n";
   }
 
@@ -226,7 +295,20 @@ private:
 
   void emitAction(uint32_t S, uint32_t A) {
     std::string Id = std::to_string(S) + "_" + std::to_string(A);
-    switch (R.nextInRange(9)) {
+    // Container-mix knob: the configured percentage of actions are
+    // list/map round trips; the rest spreads uniformly over the others.
+    if (R.nextInRange(100) < C.ContainerMixPct) {
+      if (R.nextBool())
+        emitListAction(Id);
+      else
+        emitMapAction(Id);
+      return;
+    }
+    if (C.NumSharedHubs > 0 && R.nextInRange(100) < C.HubMixPct) {
+      emitHubAction(Id);
+      return;
+    }
+    switch (R.nextInRange(C.CallChainDepth > 0 ? 8 : 7)) {
     case 0:
       emitEntityAction(Id, /*Wrapped=*/false);
       break;
@@ -240,19 +322,16 @@ private:
       emitSelectorAction(Id);
       break;
     case 4:
-      emitListAction(Id);
-      break;
-    case 5:
-      emitMapAction(Id);
-      break;
-    case 6:
       emitStringAction(Id);
       break;
-    case 7:
+    case 5:
       emitRegistryAction(Id);
       break;
-    case 8:
+    case 6:
       emitArchiveAction(Id);
+      break;
+    case 7:
+      emitChainAction(Id);
       break;
     }
   }
@@ -282,7 +361,13 @@ private:
     std::string E = ent(EI), V = ent(VI);
     std::string CastTo = R.nextBool(0.06) ? ent(VI + 1) : V;
     std::string Set = "setVal", Get = "getVal";
-    if (Wrapped) {
+    // Slots > 0 have plain accessors only; wrappers stay on slot 0.
+    uint32_t Slot =
+        C.FieldDensity > 1 ? R.nextInRange(C.FieldDensity) : 0;
+    if (Slot > 0) {
+      Set = "setVal_" + std::to_string(Slot);
+      Get = "getVal_" + std::to_string(Slot);
+    } else if (Wrapped) {
       uint32_t D = 1 + R.nextInRange(C.WrapperDepth);
       Set = "wSetVal_" + std::to_string(D);
       Get = "wGetVal_" + std::to_string(D);
@@ -400,6 +485,20 @@ private:
     }
   }
 
+  /// Routes an entity through the full relay chain and downcasts the
+  /// result: only analyses that keep per-call flows apart prove the cast.
+  void emitChainAction(const std::string &Id) {
+    uint32_t EI = R.nextInRange(touchedClasses());
+    std::string E = ent(EI);
+    OS << "    var ha" << Id << ": " << E << ";\n"
+       << "    ha" << Id << " = new " << E << ";\n"
+       << "    var hr" << Id << ": Object;\n"
+       << "    hr" << Id << " = scall Chain.relay_" << C.CallChainDepth
+       << "(ha" << Id << ");\n"
+       << "    var hc" << Id << ": " << E << ";\n"
+       << "    hc" << Id << " = (" << E << ") hr" << Id << ";\n";
+  }
+
   /// Fluent StringBuilder chain (local flow on `this`).
   void emitStringAction(const std::string &Id) {
     OS << "    var tb" << Id << ": StringBuilder;\n"
@@ -427,6 +526,8 @@ private:
 
   void emitMain() {
     OS << "class Main {\n  static method main(): void {\n";
+    if (C.NumSharedHubs > 0)
+      OS << "    scall Hub.init();\n";
     if (C.BombDepth > 0 && C.BombWidth > 0)
       OS << "    var bomb: Bomb_0;\n"
          << "    bomb = new Bomb_0;\n"
@@ -498,6 +599,43 @@ std::vector<WorkloadConfig> csc::paperBenchmarkSuite() {
   Mk("columba",    18, 220, 18, 18,  3,  16,  4, 10,  70,    8, true);
   Mk("jython",     19,  60, 12,  8,  2,   8,  3,  6,  64,    8, true);
   Mk("findbugs",   20,  50, 10, 10,  1,   8,  3,  4,  55,    6, false);
+
+  return Suite;
+}
+
+std::vector<WorkloadConfig> csc::scalingSuite() {
+  std::vector<WorkloadConfig> Suite;
+
+  auto Mk = [&](const char *Name, uint64_t Seed, uint32_t Scen,
+                uint32_t Act, uint32_t Ent, uint32_t Wrap, uint32_t Fam,
+                uint32_t FamSz, uint32_t Sel, uint32_t Density,
+                uint32_t Chain, uint32_t Mix, uint32_t Hubs,
+                uint32_t HubPct) {
+    WorkloadConfig C;
+    C.Name = Name;
+    C.Seed = Seed;
+    C.NumScenarios = Scen;
+    C.ActionsPerScenario = Act;
+    C.NumEntityClasses = Ent;
+    C.WrapperDepth = Wrap;
+    C.NumFamilies = Fam;
+    C.FamilySize = FamSz;
+    C.NumSelectors = Sel;
+    C.FieldDensity = Density;
+    C.CallChainDepth = Chain;
+    C.ContainerMixPct = Mix;
+    C.NumSharedHubs = Hubs;
+    C.HubMixPct = HubPct;
+    Suite.push_back(C);
+  };
+
+  //   name       seed scen act ent wrap fam fsz sel dens chain mix hubs hub%
+  Mk("scale-xs",   61,   2,  4,  3,  1,   2,  3,  2,   1,    2,  25,   0,  0);
+  Mk("scale-s",    62,   8,  8,  6,  2,   4,  3,  4,   2,    3,  30,   2, 10);
+  Mk("scale-m",    63,  24, 12, 10,  2,   8,  4,  6,   2,    4,  35,   3, 10);
+  Mk("scale-l",    64,  72, 16, 16,  3,  12,  4,  8,   3,    5,  40,   4, 12);
+  Mk("scale-xl",   65, 180, 20, 22,  3,  16,  5, 10,   3,    6,  40,   6, 14);
+  Mk("scale-xxl",  66, 400, 24, 30,  3,  20,  5, 12,   4,    8,  45,   8, 16);
 
   return Suite;
 }

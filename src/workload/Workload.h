@@ -52,6 +52,28 @@ struct WorkloadConfig {
   uint32_t NumScenarios = 8;      ///< Scenario classes driven from main.
   uint32_t ActionsPerScenario = 10;
 
+  /// Value slots per entity class: each slot F > 0 adds a `val_F` field
+  /// with its own setter/getter pair, multiplying field-access pattern
+  /// material without growing the scenario count.
+  uint32_t FieldDensity = 1;
+  /// Depth of the static relay chain (Chain.relay_0 .. relay_D). Scenario
+  /// actions route values through the full chain, stressing call-graph
+  /// depth and parameter/return propagation. 0 disables the chain.
+  uint32_t CallChainDepth = 0;
+  /// Percentage (0-100) of scenario actions that exercise containers
+  /// (list/map round trips); the remainder spreads over entity, family,
+  /// selector, string, registry, archive, and chain actions.
+  uint32_t ContainerMixPct = 22;
+  /// Shared container hubs: static ArrayList registries reachable from
+  /// every scenario (global caches). Unlike per-action containers, a
+  /// hub's element set accumulates program-wide, so propagation moves
+  /// genuinely large points-to sets — the representation stress that
+  /// distinguishes set-at-a-time from element-at-a-time solvers.
+  uint32_t NumSharedHubs = 0;
+  /// Percentage of actions that store/retrieve through a shared hub
+  /// (applies only when NumSharedHubs > 0; drawn after the container mix).
+  uint32_t HubMixPct = 12;
+
   // Context bomb: Width allocation sites per level over Depth levels.
   uint32_t BombDepth = 0;
   uint32_t BombWidth = 0;
@@ -70,6 +92,14 @@ std::unique_ptr<Program> buildWorkloadProgram(const WorkloadConfig &C,
 
 /// The ten paper-program profiles used by the benchmark harnesses.
 std::vector<WorkloadConfig> paperBenchmarkSuite();
+
+/// Size-parameterized tiers for the e2e scaling bench: six tiers, each
+/// roughly 3-4x the previous one in generated statement count, from
+/// "scale-xs" (about the size of examples/figure1.jir) through "scale-xl"
+/// (~100x) to "scale-xxl" (~350x). The larger tiers add shared container
+/// hubs; none carry context bombs — the tiers measure propagation cost,
+/// not context explosion.
+std::vector<WorkloadConfig> scalingSuite();
 
 } // namespace csc
 

@@ -79,6 +79,76 @@ TEST(PointsToSetTest, IntersectsBothRepresentations) {
   EXPECT_TRUE(Big.intersects(Big));
 }
 
+TEST(PointsToSetTest, UnionWithReportsDelta) {
+  PointsToSet A, B, Delta;
+  for (uint32_t O : {1u, 5u, 9u})
+    A.insert(O);
+  for (uint32_t O : {5u, 9u, 12u, 40u})
+    B.insert(O);
+  EXPECT_EQ(A.unionWith(B, Delta), 2u);
+  EXPECT_EQ(Delta.toVector(), (std::vector<uint32_t>{12, 40}));
+  EXPECT_EQ(A.toVector(), (std::vector<uint32_t>{1, 5, 9, 12, 40}));
+  // Re-union: nothing new; the delta out-param is cleared.
+  EXPECT_EQ(A.unionWith(B, Delta), 0u);
+  EXPECT_TRUE(Delta.empty());
+}
+
+TEST(PointsToSetTest, UnionWithSelfIsNoop) {
+  PointsToSet S;
+  for (uint32_t I = 0; I < 100; ++I)
+    S.insert(I * 3);
+  EXPECT_EQ(S.unionWith(S), 0u);
+  EXPECT_EQ(S.size(), 100u);
+}
+
+TEST(PointsToSetTest, UnionWithFilteredAndExcluding) {
+  PointsToSet Dst, Src, Mask, Excl;
+  for (uint32_t I = 0; I < 200; ++I)
+    Src.insert(I);
+  for (uint32_t I = 0; I < 200; I += 2)
+    Mask.insert(I); // evens
+  for (uint32_t I = 0; I < 200; I += 4)
+    Excl.insert(I); // every fourth
+  EXPECT_EQ(Dst.unionWithFiltered(Src, Mask, Excl), 50u);
+  Dst.forEach([](uint32_t O) {
+    EXPECT_EQ(O % 2, 0u);
+    EXPECT_NE(O % 4, 0u);
+  });
+  PointsToSet Dst2;
+  EXPECT_EQ(Dst2.unionWithFiltered(Src, Mask), 100u);
+  EXPECT_EQ(Dst2.unionWithExcluding(Src, Mask), 100u); // the odds
+  EXPECT_EQ(Dst2.size(), 200u);
+}
+
+TEST(PointsToSetTest, ClearKeepsSetUsable) {
+  PointsToSet S;
+  for (uint32_t I = 0; I < 500; ++I)
+    S.insert(I * 7);
+  S.clear();
+  EXPECT_TRUE(S.empty());
+  EXPECT_FALSE(S.contains(7));
+  EXPECT_TRUE(S.insert(3));
+  EXPECT_EQ(S.toVector(), std::vector<uint32_t>{3});
+}
+
+TEST(PointsToSetTest, IntersectWithAndCount) {
+  PointsToSet A, B;
+  for (uint32_t I = 0; I < 300; I += 2)
+    A.insert(I);
+  for (uint32_t I = 0; I < 300; I += 3)
+    B.insert(I);
+  PointsToSet C = A.intersectWith(B);
+  EXPECT_EQ(C.size(), 50u); // multiples of 6 below 300
+  C.forEach([](uint32_t O) { EXPECT_EQ(O % 6, 0u); });
+  EXPECT_EQ(A.intersectCount(B), 50u);
+  PointsToSet SmallSet;
+  SmallSet.insert(6);
+  SmallSet.insert(7);
+  EXPECT_EQ(SmallSet.intersectCount(A), 1u);
+  EXPECT_EQ(SmallSet.intersectWith(B).toVector(),
+            std::vector<uint32_t>{6});
+}
+
 /// Property sweep: the hybrid set must behave exactly like std::set under
 /// random insert/query sequences, across sizes that cross the promotion
 /// threshold.

@@ -81,6 +81,89 @@ TEST(WorkloadTest, ProgramsAreExecutable) {
   EXPECT_GT(F.Steps, 100u);
 }
 
+TEST(WorkloadTest, ScalingTiersBuildAndGrow) {
+  std::vector<WorkloadConfig> Suite = scalingSuite();
+  ASSERT_GE(Suite.size(), 4u);
+  uint32_t PrevStmts = 0;
+  for (const WorkloadConfig &C : Suite) {
+    std::vector<std::string> Diags;
+    auto P = buildWorkloadProgram(C, Diags);
+    for (const std::string &D : Diags)
+      ADD_FAILURE() << C.Name << ": " << D;
+    ASSERT_NE(P, nullptr) << C.Name;
+    EXPECT_TRUE(verifyProgram(*P).empty()) << C.Name;
+    EXPECT_NE(P->entry(), InvalidId) << C.Name;
+    // Each tier must be strictly larger than the previous one.
+    EXPECT_GT(P->numStmts(), PrevStmts) << C.Name;
+    PrevStmts = P->numStmts();
+  }
+}
+
+TEST(WorkloadTest, SmallestScalingTierIsAnalyzable) {
+  std::vector<std::string> Diags;
+  auto P = buildWorkloadProgram(scalingSuite().front(), Diags);
+  ASSERT_NE(P, nullptr);
+  Solver S(*P, {});
+  PTAResult R = S.solve();
+  EXPECT_FALSE(R.Exhausted);
+  EXPECT_GT(R.numReachableCI(), 10u);
+}
+
+TEST(WorkloadTest, FieldDensityAddsSlots) {
+  WorkloadConfig C;
+  C.FieldDensity = 3;
+  std::string Src = generateWorkload(C);
+  EXPECT_NE(Src.find("val_1"), std::string::npos);
+  EXPECT_NE(Src.find("setVal_2"), std::string::npos);
+  C.FieldDensity = 1;
+  EXPECT_EQ(generateWorkload(C).find("val_1"), std::string::npos);
+  std::vector<std::string> Diags;
+  C.FieldDensity = 3;
+  auto P = buildWorkloadProgram(C, Diags);
+  for (const std::string &D : Diags)
+    ADD_FAILURE() << D;
+  ASSERT_NE(P, nullptr);
+  EXPECT_TRUE(verifyProgram(*P).empty());
+}
+
+TEST(WorkloadTest, CallChainDepthEmitsRelays) {
+  WorkloadConfig C;
+  C.CallChainDepth = 4;
+  std::string Src = generateWorkload(C);
+  EXPECT_NE(Src.find("relay_4"), std::string::npos);
+  EXPECT_NE(Src.find("relay_0"), std::string::npos);
+  C.CallChainDepth = 0;
+  EXPECT_EQ(generateWorkload(C).find("class Chain"), std::string::npos);
+  std::vector<std::string> Diags;
+  C.CallChainDepth = 4;
+  auto P = buildWorkloadProgram(C, Diags);
+  for (const std::string &D : Diags)
+    ADD_FAILURE() << D;
+  ASSERT_NE(P, nullptr);
+  EXPECT_TRUE(verifyProgram(*P).empty());
+}
+
+TEST(WorkloadTest, ContainerMixShiftsActionBlend) {
+  WorkloadConfig None;
+  None.ContainerMixPct = 0;
+  WorkloadConfig All = None;
+  All.ContainerMixPct = 100;
+  std::string SrcNone = generateWorkload(None);
+  std::string SrcAll = generateWorkload(All);
+  // At 100% every action is a list/map round trip; at 0% none is.
+  EXPECT_EQ(SrcNone.find("HashMap"), std::string::npos);
+  EXPECT_NE(SrcAll.find(".add("), std::string::npos);
+  EXPECT_EQ(SrcAll.find("Util.select"), std::string::npos);
+  for (WorkloadConfig C : {None, All}) {
+    std::vector<std::string> Diags;
+    auto P = buildWorkloadProgram(C, Diags);
+    for (const std::string &D : Diags)
+      ADD_FAILURE() << D;
+    ASSERT_NE(P, nullptr);
+    EXPECT_TRUE(verifyProgram(*P).empty());
+  }
+}
+
 TEST(WorkloadTest, BombShapesDiffer) {
   WorkloadConfig Obj;
   Obj.BombWidth = 4;

@@ -1,4 +1,4 @@
-//===- cscpta.cpp - Cut-Shortcut pointer-analysis driver --------------------===//
+//===- cscpta.cpp - Cut-Shortcut pointer-analysis driver ------------------===//
 //
 // Part of the Cut-Shortcut pointer analysis reproduction.
 //
