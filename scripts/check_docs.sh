@@ -1,0 +1,66 @@
+#!/usr/bin/env bash
+# Documentation guard, run by the CI docs job (and locally):
+#   1. every relative markdown link in README.md / docs/*.md must resolve
+#      to an existing file, and
+#   2. every analysis name registered in the code (the AnalysisNames
+#      table plus extra AnalysisRegistry registrations) must be
+#      documented in docs/CLI.md.
+# Usage: scripts/check_docs.sh
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+fail=0
+
+# --- 1. Relative link check -------------------------------------------------
+for doc in README.md docs/*.md; do
+  # [text](target) links; strip #anchors; skip absolute URLs.
+  while IFS= read -r target; do
+    case "$target" in
+      http://*|https://*|mailto:*|'') continue ;;
+    esac
+    path="${target%%#*}"
+    [ -z "$path" ] && continue # pure in-page anchor
+    # Resolve exactly as GitHub does: relative to the linking document's
+    # directory (never the repo root).
+    base="$(dirname "$doc")"
+    if [ ! -e "$base/$path" ]; then
+      echo "error: $doc links to '$target' but '$base/$path' does not" \
+           "exist"
+      fail=1
+    fi
+  done < <(grep -oE '\]\([^)]+\)' "$doc" | sed -E 's/^\]\(//; s/\)$//')
+done
+
+# --- 2. Every registered analysis name appears in docs/CLI.md ---------------
+# Canonical names come from the one kind<->name table; names registered
+# directly on the registry (csc-doop) from AnalysisRegistry.cpp.
+# `|| true` keeps set -e/pipefail from aborting the substitution when a
+# pattern stops matching — the empty-names diagnostic below must fire
+# instead.
+names="$(
+  { grep -oE '\{AnalysisKind::[A-Za-z]+, "[a-z0-9-]+"' \
+        src/client/AnalysisNames.cpp \
+      | grep -oE '"[a-z0-9-]+"' | tr -d '"'; } || true
+  { grep -oE 'R\.add\("[a-z0-9-]+"' src/client/AnalysisRegistry.cpp \
+      | grep -oE '"[a-z0-9-]+"' | tr -d '"'; } || true
+)"
+if [ -z "$names" ]; then
+  echo "error: could not extract any analysis names from the sources" \
+       "(did the registration syntax change?)"
+  fail=1
+fi
+for name in $names; do
+  if ! grep -qE "\`$name\`" docs/CLI.md; then
+    echo "error: registered analysis '$name' is not documented in" \
+         "docs/CLI.md (add it as \`$name\`)"
+    fail=1
+  fi
+done
+
+if [ "$fail" -ne 0 ]; then
+  echo "docs check FAILED"
+  exit 1
+fi
+echo "docs check OK ($(echo "$names" | wc -l) analysis names," \
+     "links in README.md + docs/*.md)"

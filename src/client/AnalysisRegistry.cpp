@@ -147,9 +147,37 @@ bool csc::parseAnalysisSpec(std::string_view Text, AnalysisSpec &Out,
               "' in spec '" + std::string(Text) + "' (expected key=value)";
       return false;
     }
-    Out.Params.emplace_back(lowered(Key),
+    std::string KeyL = lowered(Key);
+    if (Out.param(KeyL)) {
+      Error = "duplicate parameter '" + KeyL + "' in spec '" +
+              std::string(Text) + "'";
+      return false;
+    }
+    Out.Params.emplace_back(std::move(KeyL),
                             lowered(trim(Tok.substr(Eq + 1))));
   }
+  return true;
+}
+
+std::string csc::canonicalSpec(const AnalysisSpec &Spec) {
+  std::vector<std::pair<std::string, std::string>> Sorted = Spec.Params;
+  std::sort(Sorted.begin(), Sorted.end());
+  std::string Out = Spec.Name;
+  for (const auto &[K, V] : Sorted) {
+    Out += ';';
+    Out += K;
+    Out += '=';
+    Out += V;
+  }
+  return Out;
+}
+
+bool csc::canonicalSpec(std::string_view SpecText, std::string &Out,
+                        std::string &Error) {
+  AnalysisSpec Spec;
+  if (!parseAnalysisSpec(SpecText, Spec, Error))
+    return false;
+  Out = canonicalSpec(Spec);
   return true;
 }
 
@@ -300,6 +328,12 @@ void AnalysisRegistry::addAlias(std::string Alias, std::string Canonical) {
 bool AnalysisRegistry::known(std::string_view Name) const {
   std::string N = lowered(Name);
   return Entries.count(N) != 0 || Aliases.count(N) != 0;
+}
+
+std::string AnalysisRegistry::resolveName(std::string_view Name) const {
+  std::string N = lowered(Name);
+  auto It = Aliases.find(N);
+  return It == Aliases.end() ? N : It->second;
 }
 
 std::vector<std::pair<std::string, std::string>>

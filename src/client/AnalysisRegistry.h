@@ -58,9 +58,23 @@ struct AnalysisSpec {
   bool checkKnownParams(const char *const *Known, std::string &Error) const;
 };
 
-/// Parses one spec. Returns false with \p Error set on malformed input.
+/// Parses one spec. Returns false with \p Error set on malformed input
+/// (empty spec, missing name head, parameter without '=', empty or
+/// duplicate parameter key). The exact diagnostic strings are documented
+/// in docs/CLI.md and pinned by tests/client/SpecErrorTest.cpp.
 bool parseAnalysisSpec(std::string_view Text, AnalysisSpec &Out,
                        std::string &Error);
+
+/// The canonical cache spelling of a parsed spec: lowercased name plus
+/// params sorted by key ("csc;container=0;engine=doop"). Normalizes
+/// case, whitespace, and parameter order; registry aliases are NOT
+/// resolved here (this is a registry-free function) — resolve the name
+/// through AnalysisRegistry::resolveName first when alias-insensitive
+/// keys are needed, as the batch executor's result cache does.
+std::string canonicalSpec(const AnalysisSpec &Spec);
+/// Parses, then canonicalizes. False with \p Error on a malformed spec.
+bool canonicalSpec(std::string_view SpecText, std::string &Out,
+                   std::string &Error);
 
 /// Splits a comma-separated spec list ("ci,k-type;k=3,csc"); parameters
 /// never contain commas, so this is a plain split with trimming. Empty
@@ -96,6 +110,12 @@ AnalysisRecipe makeKindRecipe(AnalysisKind Kind, unsigned K, bool DoopMode,
                               const CutShortcutOptions &Csc);
 
 /// String-keyed analysis factory table.
+///
+/// Thread-safety: a fully built registry is immutable through its const
+/// API — build()/known()/list() are safe from any number of threads
+/// (this is how batch tasks resolve specs concurrently). add()/addAlias()
+/// mutate and must not race with readers; global() is a const magic
+/// static and always safe.
 class AnalysisRegistry {
 public:
   /// Fills \p Out from \p Spec; returns false with \p Error on bad params.
@@ -108,7 +128,14 @@ public:
   /// Registers \p Alias to resolve to \p Canonical.
   void addAlias(std::string Alias, std::string Canonical);
 
+  /// True when \p Name (or an alias, case-insensitively) is registered.
   bool known(std::string_view Name) const;
+  /// Resolves an alias (case-insensitively) to its canonical registered
+  /// name; returns the lowercased input unchanged when it is not an
+  /// alias. The batch executor maps spec names through this before
+  /// canonicalSpec() so aliased spellings ("k-type" vs "2type") share
+  /// one result-cache key.
+  std::string resolveName(std::string_view Name) const;
   /// (name, description) pairs of primary entries, sorted by name.
   std::vector<std::pair<std::string, std::string>> list() const;
 

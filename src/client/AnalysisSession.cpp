@@ -11,8 +11,10 @@
 #include "pta/Solver.h"
 #include "stdlib/ContainerSpec.h"
 #include "stdlib/Stdlib.h"
+#include "support/ThreadPool.h"
 #include "support/Timer.h"
 
+#include <algorithm>
 #include <fstream>
 #include <sstream>
 
@@ -144,17 +146,31 @@ AnalysisSession::zipperSelection(const ZipperOptions &ZOpts,
                                  bool *FromCache) {
   ZipperKey Key{ZOpts.K, ZOpts.CostFraction, ZOpts.MinCostFloor,
                 ZOpts.PreWorkBudget};
-  for (auto &[K, Sel] : ZipperCache)
-    if (K == Key) {
-      if (FromCache)
-        *FromCache = true;
-      return Sel;
+  ZipperEntry *Entry = nullptr;
+  bool Created = false;
+  {
+    std::lock_guard<std::mutex> G(ZipperMutex);
+    for (ZipperEntry &E : ZipperCache)
+      if (E.Key == Key) {
+        Entry = &E;
+        break;
+      }
+    if (!Entry) {
+      ZipperCache.emplace_back(Key);
+      Entry = &ZipperCache.back();
+      Created = true;
     }
-  progress("zipper-pre", "k=" + std::to_string(ZOpts.K));
-  ZipperCache.emplace_back(Key, runZipperSelection(*P, ZOpts));
+  }
+  // The computation runs outside the cache lock: same-key requesters
+  // block on the once_flag until it finishes, other keys proceed. Exactly
+  // one thread computes; everyone else observes a cache hit.
+  std::call_once(Entry->Once, [&] {
+    progress("zipper-pre", "k=" + std::to_string(ZOpts.K));
+    Entry->Sel = runZipperSelection(*P, ZOpts);
+  });
   if (FromCache)
-    *FromCache = false;
-  return ZipperCache.back().second;
+    *FromCache = !Created;
+  return Entry->Sel;
 }
 
 AnalysisRun AnalysisSession::run(const std::string &SpecText) {
@@ -174,6 +190,20 @@ std::vector<AnalysisRun> AnalysisSession::runAll(const std::string &SpecList) {
   std::vector<AnalysisRun> Out;
   for (const std::string &Spec : splitSpecList(SpecList))
     Out.push_back(run(Spec));
+  return Out;
+}
+
+std::vector<AnalysisRun> AnalysisSession::runAll(const std::string &SpecList,
+                                                 unsigned Jobs) {
+  if (Jobs <= 1)
+    return runAll(SpecList);
+  std::vector<std::string> Specs = splitSpecList(SpecList);
+  std::vector<AnalysisRun> Out(Specs.size());
+  ThreadPool Pool(std::min<unsigned>(
+      Jobs, Specs.empty() ? 1u : static_cast<unsigned>(Specs.size())));
+  for (size_t I = 0; I != Specs.size(); ++I)
+    Pool.submit([this, &Out, &Specs, I] { Out[I] = run(Specs[I]); });
+  Pool.wait();
   return Out;
 }
 

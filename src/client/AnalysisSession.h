@@ -17,6 +17,14 @@
 ///    instead of metrics that are silently "not meaningful",
 ///  * a ResultView query layer over each run's PTAResult.
 ///
+/// Thread-safety: once constructed, a session is safe to share across
+/// threads — the program is immutable, each run() builds its own solver,
+/// and the Zipper pre-analysis cache is internally synchronized (one
+/// computation per key, concurrent requesters block on it). Construction,
+/// setWorkBudget/setTimeBudgetMs, and destruction are NOT thread-safe and
+/// must not race with runs. The batch executor (client/BatchExecutor.h)
+/// builds on exactly this contract.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef CSC_CLIENT_ANALYSISSESSION_H
@@ -33,6 +41,7 @@
 #include <deque>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -106,30 +115,54 @@ public:
   fromFiles(const std::vector<std::string> &Paths, Options O,
             std::vector<std::string> &Diags);
 
+  /// The verified program every run analyzes (immutable for the
+  /// session's lifetime).
   const Program &program() const { return *P; }
+  /// The options the session was built with.
   const Options &options() const { return Opts; }
+  /// Adjusts the per-run work budget. NOT thread-safe: do not call
+  /// while runs are in flight.
   void setWorkBudget(uint64_t B) { Opts.WorkBudget = B; }
+  /// Adjusts the per-run wall-clock budget. NOT thread-safe (see above).
   void setTimeBudgetMs(double Ms) { Opts.TimeBudgetMs = Ms; }
+  /// The registry specs resolve against (Options::Registry or global()).
   const AnalysisRegistry &registry() const;
 
+  /// Wall time spent parsing / verifying at construction (0 for adopted
+  /// or borrowed programs that skipped the phase).
   double parseMs() const { return ParseMsV; }
   double verifyMs() const { return VerifyMsV; }
 
   /// Runs one analysis named by a spec string. A bad spec yields a run
-  /// with Status == SpecError and the message in Error.
+  /// with Status == SpecError and the message in Error. Thread-safe:
+  /// any number of threads may run() concurrently over the one shared
+  /// program (each run builds its own solver; the Zipper cache is
+  /// internally locked). The Progress callback, if set, must itself be
+  /// thread-safe when runs are concurrent.
   AnalysisRun run(const std::string &SpecText);
-  /// Runs a pre-built recipe.
+  /// Runs a pre-built recipe. Thread-safe (see run(spec)).
   AnalysisRun run(const AnalysisRecipe &Recipe);
   /// Runs every spec of a comma-separated list, in order.
   std::vector<AnalysisRun> runAll(const std::string &SpecList);
+  /// Like runAll, but runs the specs on up to \p Jobs pool threads. The
+  /// returned vector is in spec order regardless of completion order,
+  /// and each run's result is identical to its sequential counterpart
+  /// (the solver itself stays single-threaded). Jobs <= 1 falls back to
+  /// the sequential runAll.
+  std::vector<AnalysisRun> runAll(const std::string &SpecList,
+                                  unsigned Jobs);
 
-  /// Query view over a run's result.
+  /// Query view over a run's result. The session and the run must both
+  /// outlive the view (it borrows, never copies).
   ResultView view(const AnalysisRun &Run) const {
     return ResultView(*P, Run.Result);
   }
 
   /// The Zipper-e pre-analysis for \p ZOpts, computed on first use and
   /// cached across runs (keyed on k / cost fraction / floor / budget).
+  /// Thread-safe: concurrent calls with the same key block until the one
+  /// computing thread finishes, so the pre-analysis runs exactly once per
+  /// key; distinct keys compute in parallel.
   const ZipperSelection &zipperSelection(const ZipperOptions &ZOpts,
                                          bool *FromCache = nullptr);
 
@@ -158,8 +191,20 @@ private:
              PreWorkBudget == O.PreWorkBudget;
     }
   };
-  // deque: cached selections must stay address-stable across inserts.
-  std::deque<std::pair<ZipperKey, ZipperSelection>> ZipperCache;
+  /// One cached pre-analysis. The entry is registered in the cache under
+  /// ZipperMutex, but the (possibly long) computation itself runs inside
+  /// call_once outside the lock: concurrent requests for the same key
+  /// block on the once_flag, requests for other keys proceed.
+  struct ZipperEntry {
+    explicit ZipperEntry(const ZipperKey &K) : Key(K) {}
+    ZipperKey Key;
+    std::once_flag Once;
+    ZipperSelection Sel;
+  };
+  // deque: cached selections must stay address-stable across inserts,
+  // and ZipperEntry (once_flag) is neither movable nor copyable.
+  std::deque<ZipperEntry> ZipperCache;
+  std::mutex ZipperMutex; ///< Guards ZipperCache lookups/inserts only.
 };
 
 } // namespace csc

@@ -1,0 +1,480 @@
+//===- BatchExecutor.cpp - Parallel batch analysis engine -----------------===//
+//
+// Part of the Cut-Shortcut pointer analysis reproduction.
+//
+//===----------------------------------------------------------------------===//
+
+#include "client/BatchExecutor.h"
+
+#include "client/Report.h"
+#include "ir/Printer.h"
+#include "support/JsonParse.h"
+#include "support/ThreadPool.h"
+#include "support/Timer.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+using namespace csc;
+
+//===----------------------------------------------------------------------===//
+// Program fingerprint
+//===----------------------------------------------------------------------===//
+
+uint64_t csc::programFingerprint(const Program &P) {
+  // FNV-1a over the printed IR: stable across how the program was built
+  // (files, inline source, IRBuilder) and cheap relative to one solve.
+  std::string Text = printProgram(P);
+  uint64_t H = 1469598103934665603ULL;
+  for (unsigned char C : Text) {
+    H ^= C;
+    H *= 1099511628211ULL;
+  }
+  return H;
+}
+
+//===----------------------------------------------------------------------===//
+// ResultCache
+//===----------------------------------------------------------------------===//
+
+bool ResultCache::lookup(const std::string &Key, Value &Out) {
+  std::lock_guard<std::mutex> G(M);
+  auto It = Map.find(Key);
+  if (It == Map.end()) {
+    ++Misses;
+    return false;
+  }
+  ++Hits;
+  Out = It->second;
+  return true;
+}
+
+void ResultCache::store(const std::string &Key, Value V) {
+  std::lock_guard<std::mutex> G(M);
+  Map.emplace(Key, std::move(V)); // first writer wins on a race
+}
+
+uint64_t ResultCache::hits() const {
+  std::lock_guard<std::mutex> G(M);
+  return Hits;
+}
+
+uint64_t ResultCache::misses() const {
+  std::lock_guard<std::mutex> G(M);
+  return Misses;
+}
+
+size_t ResultCache::size() const {
+  std::lock_guard<std::mutex> G(M);
+  return Map.size();
+}
+
+void ResultCache::clear() {
+  std::lock_guard<std::mutex> G(M);
+  Map.clear();
+  Hits = Misses = 0;
+}
+
+//===----------------------------------------------------------------------===//
+// Manifest parsing
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+bool isAbsolutePath(const std::string &P) {
+  return !P.empty() && P[0] == '/';
+}
+
+std::string joinPath(const std::string &Base, const std::string &Rel) {
+  if (Base.empty() || isAbsolutePath(Rel))
+    return Rel;
+  if (Base.back() == '/')
+    return Base + Rel;
+  return Base + "/" + Rel;
+}
+
+bool manifestError(std::string &Error, size_t EntryIdx,
+                   const std::string &Msg) {
+  Error = "manifest: entry " + std::to_string(EntryIdx) + ": " + Msg;
+  return false;
+}
+
+} // namespace
+
+bool csc::parseBatchManifest(const std::string &Text,
+                             std::vector<BatchEntry> &Out,
+                             std::string &Error,
+                             const std::string &BaseDir) {
+  Out.clear();
+  JsonValue Doc;
+  if (!parseJson(Text, Doc, Error)) {
+    Error = "manifest: " + Error;
+    return false;
+  }
+  if (!Doc.isObject()) {
+    Error = "manifest: top level must be an object with an \"entries\" "
+            "array";
+    return false;
+  }
+  const JsonValue *Entries = Doc.get("entries");
+  if (!Entries || !Entries->isArray()) {
+    Error = "manifest: missing \"entries\" array";
+    return false;
+  }
+  if (Entries->Arr.empty()) {
+    Error = "manifest: \"entries\" is empty";
+    return false;
+  }
+  for (size_t I = 0; I != Entries->Arr.size(); ++I) {
+    const JsonValue &E = Entries->Arr[I];
+    if (!E.isObject())
+      return manifestError(Error, I, "must be an object");
+    BatchEntry B;
+
+    const JsonValue *Prog = E.get("program");
+    if (!Prog)
+      return manifestError(Error, I, "missing \"program\"");
+    if (Prog->isString()) {
+      B.Files.push_back(joinPath(BaseDir, Prog->Str));
+    } else if (Prog->isArray()) {
+      for (const JsonValue &F : Prog->Arr) {
+        if (!F.isString())
+          return manifestError(Error, I,
+                               "\"program\" array must hold strings");
+        B.Files.push_back(joinPath(BaseDir, F.Str));
+      }
+      if (B.Files.empty())
+        return manifestError(Error, I, "\"program\" array is empty");
+    } else {
+      return manifestError(
+          Error, I, "\"program\" must be a path or an array of paths");
+    }
+
+    const JsonValue *Specs = E.get("specs");
+    if (!Specs)
+      return manifestError(Error, I, "missing \"specs\"");
+    if (Specs->isString()) {
+      B.Specs = splitSpecList(Specs->Str);
+    } else if (Specs->isArray()) {
+      for (const JsonValue &S : Specs->Arr) {
+        if (!S.isString())
+          return manifestError(Error, I,
+                               "\"specs\" array must hold strings");
+        B.Specs.push_back(S.Str);
+      }
+    } else {
+      return manifestError(
+          Error, I,
+          "\"specs\" must be an array of specs or a comma-separated "
+          "string");
+    }
+    if (B.Specs.empty())
+      return manifestError(Error, I, "\"specs\" is empty");
+
+    if (const JsonValue *L = E.get("label")) {
+      if (!L->isString())
+        return manifestError(Error, I, "\"label\" must be a string");
+      B.Label = L->Str;
+    }
+    Out.push_back(std::move(B));
+  }
+  return true;
+}
+
+bool csc::loadBatchManifest(const std::string &Path,
+                            std::vector<BatchEntry> &Out,
+                            std::string &Error) {
+  std::ifstream In(Path);
+  if (!In) {
+    Error = "cannot open manifest '" + Path + "'";
+    return false;
+  }
+  std::ostringstream Buf;
+  Buf << In.rdbuf();
+  std::string BaseDir;
+  size_t Slash = Path.rfind('/');
+  if (Slash != std::string::npos)
+    BaseDir = Path.substr(0, Slash);
+  return parseBatchManifest(Buf.str(), Out, Error, BaseDir);
+}
+
+//===----------------------------------------------------------------------===//
+// BatchReport
+//===----------------------------------------------------------------------===//
+
+bool BatchReport::anyLoadFailed() const {
+  for (const BatchEntryResult &E : Entries)
+    if (E.LoadFailed)
+      return true;
+  return false;
+}
+
+bool BatchReport::anySpecError() const {
+  for (const BatchEntryResult &E : Entries)
+    for (const BatchRunResult &R : E.Runs)
+      if (R.Status == RunStatus::SpecError)
+        return true;
+  return false;
+}
+
+bool BatchReport::anyExhausted() const {
+  for (const BatchEntryResult &E : Entries)
+    for (const BatchRunResult &R : E.Runs)
+      if (R.Status == RunStatus::BudgetExhausted)
+        return true;
+  return false;
+}
+
+size_t BatchReport::totalRuns() const {
+  size_t N = 0;
+  for (const BatchEntryResult &E : Entries)
+    N += E.Runs.size();
+  return N;
+}
+
+int BatchReport::exitCode() const {
+  if (anyLoadFailed() || anySpecError())
+    return 1;
+  if (anyExhausted())
+    return 3;
+  return 0;
+}
+
+std::string BatchReport::aggregateJson() const {
+  JsonWriter J;
+  J.beginObject();
+  J.kv("tool", "cscpta-batch");
+  J.key("entries").beginArray();
+  for (const BatchEntryResult &E : Entries) {
+    J.beginObject();
+    J.kv("label", E.Label);
+    J.key("files").beginArray();
+    for (const std::string &F : E.Files)
+      J.value(F);
+    J.endArray();
+    if (E.LoadFailed) {
+      J.kv("ok", false);
+      J.key("errors").beginArray();
+      for (const std::string &D : E.LoadDiags)
+        J.value(D);
+      J.endArray();
+      J.endObject();
+      continue;
+    }
+    J.kv("ok", true);
+    J.key("program").raw(E.ProgramJson);
+    J.key("runs").beginArray();
+    for (const BatchRunResult &R : E.Runs)
+      J.raw(R.RunJson);
+    J.endArray();
+    J.endObject();
+  }
+  J.endArray().endObject();
+  return J.take();
+}
+
+//===----------------------------------------------------------------------===//
+// BatchExecutor
+//===----------------------------------------------------------------------===//
+
+BatchExecutor::ProgramSlot &BatchExecutor::slotFor(const BatchEntry &E) {
+  // The slot key is the program's *identity* (how it is named), not its
+  // content — content dedup happens at the result cache via the
+  // fingerprint. Identity keying keeps "load once per distinct program"
+  // cheap and lets repeats reuse sessions across run() calls.
+  std::string Key;
+  if (E.Session) {
+    char Buf[32];
+    std::snprintf(Buf, sizeof(Buf), "session:%p",
+                  static_cast<const void *>(E.Session.get()));
+    Key = Buf;
+  } else if (!E.Files.empty()) {
+    Key = "files:";
+    for (const std::string &F : E.Files) {
+      Key += F;
+      Key += '\n';
+    }
+  } else {
+    Key = "source:" + E.SourceName + "\n" + E.SourceText;
+  }
+  std::lock_guard<std::mutex> G(SlotM);
+  for (ProgramSlot &S : Slots)
+    if (S.Key == Key)
+      return S;
+  Slots.emplace_back(std::move(Key));
+  return Slots.back();
+}
+
+void BatchExecutor::loadSlot(ProgramSlot &Slot, const BatchEntry &E) {
+  if (E.Session) {
+    Slot.S = E.Session;
+  } else {
+    AnalysisSession::Options SO;
+    SO.WithStdlib = Opts.WithStdlib;
+    SO.WorkBudget = Opts.WorkBudget;
+    SO.TimeBudgetMs = Opts.TimeBudgetMs;
+    if (!E.Files.empty())
+      Slot.S = AnalysisSession::fromFiles(E.Files, std::move(SO),
+                                          Slot.Diags);
+    else
+      Slot.S = AnalysisSession::fromSource(
+          E.SourceName.empty() ? "<batch>" : E.SourceName, E.SourceText,
+          std::move(SO), Slot.Diags);
+  }
+  if (!Slot.S)
+    return;
+  Slot.Fingerprint = programFingerprint(Slot.S->program());
+  JsonWriter J;
+  appendProgramSummaryJson(J, Slot.S->program());
+  Slot.ProgramJson = J.take();
+}
+
+void BatchExecutor::runSpec(ProgramSlot &Slot, const std::string &Spec,
+                            BatchRunResult &Out) {
+  Timer T;
+  Out.Spec = Spec;
+  // Canonicalize for the cache key, resolving registry aliases so
+  // "k-type;k=3" and "2type;k=3" share one key (and one report name).
+  AnalysisSpec Parsed;
+  std::string CanonError;
+  bool HaveCanon = parseAnalysisSpec(Spec, Parsed, CanonError);
+  if (HaveCanon) {
+    Parsed.Name = Slot.S->registry().resolveName(Parsed.Name);
+    Out.Canonical = canonicalSpec(Parsed);
+  }
+
+  std::string Key;
+  ResultCache::Value V;
+  if (HaveCanon) {
+    // The key must cover everything the result depends on: program
+    // content, canonical spec, the budgets of the session that runs it
+    // (pre-built sessions may carry budgets differing from the
+    // executor's), and the registry resolving the spec (a custom
+    // Options::Registry may bind the same name to a different recipe;
+    // its address identifies it within this process) — otherwise
+    // entries differing in any of these could cross-serve results.
+    const AnalysisSession::Options &SO = Slot.S->options();
+    char Cfg[96];
+    std::snprintf(Cfg, sizeof(Cfg), "|w%llu|t%.17g|r%p|",
+                  static_cast<unsigned long long>(SO.WorkBudget),
+                  SO.TimeBudgetMs,
+                  static_cast<const void *>(&Slot.S->registry()));
+    Key = std::to_string(Slot.Fingerprint) + Cfg + Out.Canonical;
+    if (Cache.lookup(Key, V)) {
+      Out.FromCache = true;
+      Out.Status = V.Status;
+      Out.Error = V.Error;
+      Out.Metrics = V.Metrics;
+      Out.RunJson = V.RunJson;
+      Out.WallMs = T.elapsedMs();
+      return;
+    }
+  }
+
+  // Miss (or an unparsable spec, which the session turns into a
+  // SpecError run with the same diagnostic): compute, then publish.
+  AnalysisRun R = Slot.S->run(Spec);
+  // Serialize under the canonical name so the report is independent of
+  // which spelling computed first — required for byte-identical
+  // aggregates when duplicate work races under --jobs.
+  if (HaveCanon)
+    R.Name = Out.Canonical;
+  Out.Status = R.Status;
+  Out.Error = R.Error;
+  Out.Metrics = R.Metrics;
+  {
+    JsonWriter J;
+    appendRunJson(J, R, /*IncludeTimings=*/false);
+    Out.RunJson = J.take();
+  }
+  Out.WallMs = T.elapsedMs();
+  // Wall-clock exhaustion is nondeterministic (a transiently loaded
+  // machine can time out a run that would normally complete); caching it
+  // would poison every later identical request in the process. Work
+  // -budget exhaustion (TimeBudgetMs == 0) is exact and safe to cache.
+  bool CacheableOutcome = R.Status != RunStatus::BudgetExhausted ||
+                          Slot.S->options().TimeBudgetMs == 0;
+  if (HaveCanon && CacheableOutcome) {
+    V.Status = R.Status;
+    V.Error = R.Error;
+    V.Metrics = R.Metrics;
+    V.RunJson = Out.RunJson;
+    Cache.store(Key, std::move(V));
+  }
+}
+
+BatchReport BatchExecutor::run(const std::vector<BatchEntry> &Entries) {
+  Timer Wall;
+  uint64_t Hits0 = Cache.hits(), Misses0 = Cache.misses();
+
+  BatchReport Report;
+  Report.Jobs = std::max(1u, Opts.Jobs);
+  Report.Entries.resize(Entries.size());
+
+  // Pre-assign result slots so completion order cannot reorder output.
+  std::vector<ProgramSlot *> EntrySlots(Entries.size());
+  for (size_t I = 0; I != Entries.size(); ++I) {
+    Report.Entries[I].Label =
+        !Entries[I].Label.empty() ? Entries[I].Label
+        : !Entries[I].Files.empty()
+            ? Entries[I].Files.front()
+            : (Entries[I].SourceName.empty() ? "<batch>"
+                                             : Entries[I].SourceName);
+    Report.Entries[I].Files = Entries[I].Files;
+    Report.Entries[I].Runs.resize(Entries[I].Specs.size());
+    EntrySlots[I] = &slotFor(Entries[I]);
+  }
+
+  // SpecIdx == npos loads the program without running anything (entries
+  // with an empty spec list still need their load outcome).
+  constexpr size_t LoadOnly = static_cast<size_t>(-1);
+  auto RunTask = [this, &Entries, &Report, &EntrySlots](size_t EntryIdx,
+                                                        size_t SpecIdx) {
+    ProgramSlot &Slot = *EntrySlots[EntryIdx];
+    std::call_once(Slot.Once,
+                   [&] { loadSlot(Slot, Entries[EntryIdx]); });
+    if (!Slot.S || SpecIdx == LoadOnly)
+      return; // load outcome is sequenced below
+    runSpec(Slot, Entries[EntryIdx].Specs[SpecIdx],
+            Report.Entries[EntryIdx].Runs[SpecIdx]);
+  };
+
+  if (Report.Jobs <= 1) {
+    for (size_t E = 0; E != Entries.size(); ++E)
+      if (Entries[E].Specs.empty())
+        RunTask(E, LoadOnly);
+      else
+        for (size_t S = 0; S != Entries[E].Specs.size(); ++S)
+          RunTask(E, S);
+  } else {
+    ThreadPool Pool(Report.Jobs);
+    for (size_t E = 0; E != Entries.size(); ++E)
+      if (Entries[E].Specs.empty())
+        Pool.submit(
+            [&RunTask, E] { RunTask(E, static_cast<size_t>(-1)); });
+      else
+        for (size_t S = 0; S != Entries[E].Specs.size(); ++S)
+          Pool.submit([&RunTask, E, S] { RunTask(E, S); });
+    Pool.wait();
+  }
+
+  // Sequence load outcomes (deterministic: slot diags don't depend on
+  // which task loaded the program).
+  for (size_t I = 0; I != Entries.size(); ++I) {
+    ProgramSlot &Slot = *EntrySlots[I];
+    if (!Slot.S) {
+      Report.Entries[I].LoadFailed = true;
+      Report.Entries[I].LoadDiags = Slot.Diags;
+      Report.Entries[I].Runs.clear();
+    } else {
+      Report.Entries[I].ProgramJson = Slot.ProgramJson;
+    }
+  }
+
+  Report.WallMs = Wall.elapsedMs();
+  Report.CacheHits = Cache.hits() - Hits0;
+  Report.CacheMisses = Cache.misses() - Misses0;
+  return Report;
+}

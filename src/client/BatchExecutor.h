@@ -1,0 +1,204 @@
+//===- BatchExecutor.h - Parallel batch analysis engine ---------*- C++ -*-===//
+//
+// Part of the Cut-Shortcut pointer analysis reproduction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Runs N analysis specs over M programs concurrently on a work-stealing
+/// thread pool, with two layers of sharing:
+///
+///  * one immutable, verified AnalysisSession per distinct program —
+///    loaded once (compute-once under contention) and shared by every
+///    spec task over it, including the session's internally synchronized
+///    Zipper pre-analysis cache, and
+///  * an in-process ResultCache keyed by (program content fingerprint,
+///    canonicalized spec) — a repeated (program, spec) pair anywhere in
+///    the batch, or across run() calls on one executor, reuses the
+///    serialized result instead of re-solving.
+///
+/// Results are written into pre-assigned slots and sequenced after the
+/// pool drains, and the per-run JSON is timing-free, so the aggregate
+/// report is byte-identical regardless of --jobs (given deterministic
+/// run outcomes — work budgets are exact, wall-clock budgets can flip
+/// boundary runs). Wall-clock numbers and cache statistics live on the
+/// BatchReport next to the deterministic document, never inside it.
+///
+/// Thread-safety: one BatchExecutor may be driven from one thread at a
+/// time (run() is not reentrant); all internal parallelism is managed by
+/// the executor itself on top of the AnalysisSession sharing contract
+/// (see AnalysisSession.h).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CSC_CLIENT_BATCHEXECUTOR_H
+#define CSC_CLIENT_BATCHEXECUTOR_H
+
+#include "client/AnalysisSession.h"
+
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace csc {
+
+/// 64-bit FNV-1a hash over the printed program — the program half of the
+/// result-cache key. Two programs with identical IR content (regardless
+/// of how they were built: files, inline source, IRBuilder) fingerprint
+/// identically.
+uint64_t programFingerprint(const Program &P);
+
+/// Thread-safe in-process cache of completed analysis results. Values
+/// carry everything a report needs (status, metrics, extras, and the
+/// deterministic run JSON) — never the PTAResult itself, so a cached
+/// batch stays cheap in memory.
+class ResultCache {
+public:
+  struct Value {
+    RunStatus Status = RunStatus::Completed;
+    std::string Error; ///< Populated for SpecError.
+    PrecisionMetrics Metrics;
+    std::string RunJson; ///< Timing-free run report (appendRunJson);
+                         ///< carries the cut/shortcut & Zipper extras.
+  };
+
+  /// True (and fills \p Out) when \p Key is cached; counts a hit/miss.
+  bool lookup(const std::string &Key, Value &Out);
+  /// Stores \p V under \p Key (first writer wins on a race; identical
+  /// values by construction, since the key fingerprints the inputs).
+  void store(const std::string &Key, Value V);
+
+  uint64_t hits() const;
+  uint64_t misses() const;
+  size_t size() const;
+  void clear();
+
+private:
+  mutable std::mutex M;
+  std::unordered_map<std::string, Value> Map;
+  uint64_t Hits = 0;
+  uint64_t Misses = 0;
+};
+
+/// One unit of batch work: a program (given as files, inline source, or a
+/// pre-built session) plus the specs to run over it.
+struct BatchEntry {
+  std::string Label;              ///< Display name; defaulted if empty.
+  std::vector<std::string> Files; ///< `.jir` paths, or ...
+  std::string SourceName;         ///< ... an inline source, or ...
+  std::string SourceText;
+  std::shared_ptr<AnalysisSession> Session; ///< ... a pre-built session.
+  std::vector<std::string> Specs; ///< Analysis specs to run.
+};
+
+/// Parses a `--batch` manifest document: {"entries": [{"label"?,
+/// "program": <path or [paths]>, "specs": <[specs] or "a,b">}, ...]}.
+/// Relative program paths are resolved against \p BaseDir when non-empty.
+/// Returns false with a diagnostic in \p Error on malformed input.
+bool parseBatchManifest(const std::string &Text,
+                        std::vector<BatchEntry> &Out, std::string &Error,
+                        const std::string &BaseDir = "");
+
+/// Reads and parses a manifest file; paths resolve relative to it.
+bool loadBatchManifest(const std::string &Path,
+                       std::vector<BatchEntry> &Out, std::string &Error);
+
+/// The outcome of one (entry, spec) task.
+struct BatchRunResult {
+  std::string Spec;      ///< As requested in the entry.
+  std::string Canonical; ///< Cache spelling (canonicalSpec).
+  RunStatus Status = RunStatus::Completed;
+  std::string Error;
+  PrecisionMetrics Metrics; ///< Valid only when Status == Completed.
+  double WallMs = 0;     ///< This task's wall time (~0 on a cache hit).
+  bool FromCache = false;
+  std::string RunJson; ///< Deterministic per-run report.
+};
+
+/// The outcome of one batch entry: the load result plus one
+/// BatchRunResult per requested spec (empty when the load failed).
+struct BatchEntryResult {
+  std::string Label;
+  std::vector<std::string> Files;
+  bool LoadFailed = false;
+  std::vector<std::string> LoadDiags;
+  std::string ProgramJson; ///< Program summary (empty when load failed).
+  std::vector<BatchRunResult> Runs;
+};
+
+/// Everything one BatchExecutor::run produced.
+struct BatchReport {
+  std::vector<BatchEntryResult> Entries; ///< In input order.
+  unsigned Jobs = 1;
+  double WallMs = 0;        ///< Whole-batch wall time.
+  uint64_t CacheHits = 0;   ///< Result-cache hits during this run.
+  uint64_t CacheMisses = 0; ///< Result-cache misses during this run.
+
+  bool anyLoadFailed() const;
+  bool anySpecError() const;
+  bool anyExhausted() const;
+  size_t totalRuns() const;
+  /// 0 ok, 1 load/spec failure, 3 budget exhausted — cscpta conventions.
+  int exitCode() const;
+
+  /// The deterministic aggregate document: byte-identical for the same
+  /// entries regardless of Jobs or cache state (no wall-clock or cache
+  /// fields inside).
+  std::string aggregateJson() const;
+};
+
+class BatchExecutor {
+public:
+  struct Options {
+    unsigned Jobs = 1;      ///< <= 1 runs inline on the caller's thread.
+    bool WithStdlib = true; ///< Prepend the modelled stdlib when loading.
+    uint64_t WorkBudget = ~0ULL; ///< Per-run insertion budget.
+    double TimeBudgetMs = 0;     ///< Per-run wall budget (0 = unlimited).
+  };
+
+  BatchExecutor() = default;
+  explicit BatchExecutor(Options O) : Opts(std::move(O)) {}
+
+  /// Runs every (entry, spec) pair, loading each distinct program once
+  /// and consulting the result cache per pair. Sessions and cache persist
+  /// across run() calls on one executor — an identical second batch is
+  /// served entirely from cache.
+  BatchReport run(const std::vector<BatchEntry> &Entries);
+
+  const Options &options() const { return Opts; }
+  ResultCache &cache() { return Cache; }
+  const ResultCache &cache() const { return Cache; }
+
+private:
+  /// Compute-once slot for one distinct program (same pattern as the
+  /// session's Zipper cache: registered under a lock, loaded inside
+  /// call_once outside it).
+  struct ProgramSlot {
+    explicit ProgramSlot(std::string K) : Key(std::move(K)) {}
+    std::string Key;
+    std::once_flag Once;
+    std::shared_ptr<AnalysisSession> S;
+    uint64_t Fingerprint = 0;
+    std::vector<std::string> Diags;
+    std::string ProgramJson;
+  };
+
+  ProgramSlot &slotFor(const BatchEntry &E);
+  void loadSlot(ProgramSlot &Slot, const BatchEntry &E);
+  void runSpec(ProgramSlot &Slot, const std::string &Spec,
+               BatchRunResult &Out);
+
+  Options Opts;
+  ResultCache Cache;
+  std::mutex SlotM; ///< Guards Slots lookups/inserts only.
+  // deque: slots must stay address-stable across inserts, and once_flag
+  // is neither movable nor copyable.
+  std::deque<ProgramSlot> Slots;
+};
+
+} // namespace csc
+
+#endif // CSC_CLIENT_BATCHEXECUTOR_H

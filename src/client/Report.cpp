@@ -31,7 +31,8 @@ void csc::appendStatsJson(JsonWriter &J, const SolverStats &S) {
       .endObject();
 }
 
-void csc::appendRunJson(JsonWriter &J, const AnalysisRun &Run) {
+void csc::appendRunJson(JsonWriter &J, const AnalysisRun &Run,
+                        bool IncludeTimings) {
   J.beginObject();
   J.kv("analysis", Run.Name);
   J.kv("status", runStatusName(Run.Status));
@@ -40,13 +41,14 @@ void csc::appendRunJson(JsonWriter &J, const AnalysisRun &Run) {
     J.endObject();
     return;
   }
-  J.key("timings")
-      .beginObject()
-      .kv("pre_ms", Run.Timings.PreMs)
-      .kv("main_ms", Run.Timings.MainMs)
-      .kv("total_ms", Run.Timings.TotalMs)
-      .kv("pre_from_cache", Run.PreFromCache)
-      .endObject();
+  if (IncludeTimings)
+    J.key("timings")
+        .beginObject()
+        .kv("pre_ms", Run.Timings.PreMs)
+        .kv("main_ms", Run.Timings.MainMs)
+        .kv("total_ms", Run.Timings.TotalMs)
+        .kv("pre_from_cache", Run.PreFromCache)
+        .endObject();
   if (Run.completed()) {
     J.key("metrics");
     appendMetricsJson(J, Run.Metrics);

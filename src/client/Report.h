@@ -22,6 +22,8 @@
 namespace csc {
 
 /// Appends {"fail_casts":..,"reach_methods":..,...} (one object).
+/// Thread-safe for distinct writers (all functions here only touch the
+/// passed-in JsonWriter and read the run).
 void appendMetricsJson(JsonWriter &J, const PrecisionMetrics &M);
 
 /// Appends the solver work counters (one object).
@@ -29,13 +31,20 @@ void appendStatsJson(JsonWriter &J, const SolverStats &S);
 
 /// Appends one run as an object: name, status, timings, and — when the
 /// run completed — metrics, stats, and per-analysis extras (cut/shortcut
-/// statistics, Zipper selection size).
-void appendRunJson(JsonWriter &J, const AnalysisRun &Run);
+/// statistics, Zipper selection size). With \p IncludeTimings false the
+/// wall-clock fields (and the cache flag) are omitted, making the output
+/// a pure function of (program, spec, budgets) as long as the run's
+/// outcome is deterministic (work budgets are; wall-clock budgets can
+/// flip boundary runs) — the batch executor relies on this for its
+/// byte-identical-across---jobs aggregate reports and cached-result
+/// reuse.
+void appendRunJson(JsonWriter &J, const AnalysisRun &Run,
+                   bool IncludeTimings = true);
 
 /// Appends a program summary object (classes/methods/stmts/...).
 void appendProgramSummaryJson(JsonWriter &J, const Program &P);
 
-/// One run as a standalone JSON document.
+/// One run as a standalone JSON document (timings included).
 std::string runJson(const AnalysisRun &Run);
 
 } // namespace csc

@@ -11,6 +11,10 @@
 /// ("Class.method.var") so drivers and tools can query without holding
 /// raw ids. The view borrows the program and result; both must outlive it.
 ///
+/// Thread-safety: a view is read-only over immutable data — any number
+/// of threads may query one view (or distinct views over the same
+/// result) concurrently.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef CSC_CLIENT_RESULTVIEW_H
@@ -26,8 +30,10 @@ namespace csc {
 
 class ResultView {
 public:
+  /// Borrows \p P and \p R; both must outlive the view.
   ResultView(const Program &P, const PTAResult &R) : P(P), R(R) {}
 
+  /// The borrowed program / raw result the view queries.
   const Program &program() const { return P; }
   const PTAResult &result() const { return R; }
 

@@ -137,6 +137,14 @@ public:
     Out += "null";
     return *this;
   }
+  /// Appends \p Json verbatim as one value. The caller guarantees it is a
+  /// complete, well-formed JSON value (the batch executor uses this to
+  /// splice cached, pre-serialized run reports into aggregate documents).
+  JsonWriter &raw(std::string_view Json) {
+    beforeValue();
+    Out += Json;
+    return *this;
+  }
 
   /// Convenience: key + scalar value in one call.
   template <typename T> JsonWriter &kv(std::string_view K, const T &V) {

@@ -1,0 +1,277 @@
+//===- JsonParse.cpp - Minimal JSON parser --------------------------------===//
+//
+// Part of the Cut-Shortcut pointer analysis reproduction.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/JsonParse.h"
+
+#include <cctype>
+#include <cerrno>
+#include <cstdlib>
+
+using namespace csc;
+
+namespace {
+
+class Parser {
+public:
+  Parser(std::string_view Text, std::string &Error)
+      : Text(Text), Error(Error) {}
+
+  bool parseDocument(JsonValue &Out) {
+    skipWs();
+    if (!parseValue(Out))
+      return false;
+    skipWs();
+    if (Pos != Text.size())
+      return fail("trailing content after the JSON document");
+    return true;
+  }
+
+private:
+  // Containers recurse through parseValue; bound the depth so a
+  // pathological document yields a diagnostic, not a stack overflow.
+  static constexpr int MaxDepth = 256;
+
+  bool parseValue(JsonValue &Out) {
+    if (Pos >= Text.size())
+      return fail("unexpected end of input");
+    switch (Text[Pos]) {
+    case '{':
+      if (Depth >= MaxDepth)
+        return fail("too deeply nested JSON");
+      return parseObject(Out);
+    case '[':
+      if (Depth >= MaxDepth)
+        return fail("too deeply nested JSON");
+      return parseArray(Out);
+    case '"':
+      Out.K = JsonValue::Kind::String;
+      return parseString(Out.Str);
+    case 't':
+    case 'f':
+      return parseKeyword(Out);
+    case 'n':
+      if (!Text.compare(Pos, 4, "null")) {
+        Pos += 4;
+        Out.K = JsonValue::Kind::Null;
+        return true;
+      }
+      return fail("invalid token");
+    default:
+      return parseNumber(Out);
+    }
+  }
+
+  bool parseObject(JsonValue &Out) {
+    Out.K = JsonValue::Kind::Object;
+    ++Depth;
+    ++Pos; // '{'
+    skipWs();
+    if (Pos < Text.size() && Text[Pos] == '}') {
+      ++Pos;
+      --Depth;
+      return true;
+    }
+    while (true) {
+      skipWs();
+      if (Pos >= Text.size() || Text[Pos] != '"')
+        return fail("expected a string object key");
+      std::string Key;
+      if (!parseString(Key))
+        return false;
+      skipWs();
+      if (Pos >= Text.size() || Text[Pos] != ':')
+        return fail("expected ':' after object key");
+      ++Pos;
+      skipWs();
+      JsonValue V;
+      if (!parseValue(V))
+        return false;
+      Out.Obj.emplace_back(std::move(Key), std::move(V));
+      skipWs();
+      if (Pos < Text.size() && Text[Pos] == ',') {
+        ++Pos;
+        continue;
+      }
+      if (Pos < Text.size() && Text[Pos] == '}') {
+        ++Pos;
+        --Depth;
+        return true;
+      }
+      return fail("expected ',' or '}' in object");
+    }
+  }
+
+  bool parseArray(JsonValue &Out) {
+    Out.K = JsonValue::Kind::Array;
+    ++Depth;
+    ++Pos; // '['
+    skipWs();
+    if (Pos < Text.size() && Text[Pos] == ']') {
+      ++Pos;
+      --Depth;
+      return true;
+    }
+    while (true) {
+      skipWs();
+      JsonValue V;
+      if (!parseValue(V))
+        return false;
+      Out.Arr.push_back(std::move(V));
+      skipWs();
+      if (Pos < Text.size() && Text[Pos] == ',') {
+        ++Pos;
+        continue;
+      }
+      if (Pos < Text.size() && Text[Pos] == ']') {
+        ++Pos;
+        --Depth;
+        return true;
+      }
+      return fail("expected ',' or ']' in array");
+    }
+  }
+
+  bool parseString(std::string &Out) {
+    ++Pos; // opening quote
+    Out.clear();
+    while (Pos < Text.size()) {
+      char C = Text[Pos];
+      if (C == '"') {
+        ++Pos;
+        return true;
+      }
+      if (C == '\\') {
+        if (Pos + 1 >= Text.size())
+          return fail("unterminated escape in string");
+        char E = Text[Pos + 1];
+        Pos += 2;
+        switch (E) {
+        case '"':
+          Out += '"';
+          break;
+        case '\\':
+          Out += '\\';
+          break;
+        case '/':
+          Out += '/';
+          break;
+        case 'b':
+          Out += '\b';
+          break;
+        case 'f':
+          Out += '\f';
+          break;
+        case 'n':
+          Out += '\n';
+          break;
+        case 'r':
+          Out += '\r';
+          break;
+        case 't':
+          Out += '\t';
+          break;
+        case 'u': {
+          if (Pos + 4 > Text.size())
+            return fail("truncated \\u escape");
+          unsigned V = 0;
+          for (int I = 0; I != 4; ++I) {
+            char H = Text[Pos + I];
+            if (!std::isxdigit(static_cast<unsigned char>(H)))
+              return fail("invalid \\u escape");
+            V = V * 16 + (H <= '9'   ? H - '0'
+                          : H <= 'F' ? H - 'A' + 10
+                                     : H - 'a' + 10);
+          }
+          Pos += 4;
+          if (V < 0x80) {
+            Out += static_cast<char>(V);
+          } else {
+            // Non-ASCII escapes are kept verbatim (see file comment).
+            Out += "\\u";
+            Out += std::string(Text.substr(Pos - 4, 4));
+          }
+          break;
+        }
+        default:
+          return fail("unknown escape in string");
+        }
+        continue;
+      }
+      if (static_cast<unsigned char>(C) < 0x20)
+        return fail("unescaped control character in string");
+      Out += C;
+      ++Pos;
+    }
+    return fail("unterminated string");
+  }
+
+  bool parseKeyword(JsonValue &Out) {
+    if (!Text.compare(Pos, 4, "true")) {
+      Pos += 4;
+      Out.K = JsonValue::Kind::Bool;
+      Out.B = true;
+      return true;
+    }
+    if (!Text.compare(Pos, 5, "false")) {
+      Pos += 5;
+      Out.K = JsonValue::Kind::Bool;
+      Out.B = false;
+      return true;
+    }
+    return fail("invalid token");
+  }
+
+  bool parseNumber(JsonValue &Out) {
+    size_t Start = Pos;
+    if (Pos < Text.size() && Text[Pos] == '-')
+      ++Pos;
+    while (Pos < Text.size() &&
+           (std::isdigit(static_cast<unsigned char>(Text[Pos])) ||
+            Text[Pos] == '.' || Text[Pos] == 'e' || Text[Pos] == 'E' ||
+            Text[Pos] == '+' || Text[Pos] == '-'))
+      ++Pos;
+    if (Pos == Start)
+      return fail("invalid token");
+    std::string Num(Text.substr(Start, Pos - Start));
+    errno = 0;
+    char *End = nullptr;
+    double D = std::strtod(Num.c_str(), &End);
+    if (errno != 0 || End != Num.c_str() + Num.size())
+      return fail("malformed number '" + Num + "'");
+    Out.K = JsonValue::Kind::Number;
+    Out.Num = D;
+    return true;
+  }
+
+  void skipWs() {
+    while (Pos < Text.size() &&
+           (Text[Pos] == ' ' || Text[Pos] == '\t' || Text[Pos] == '\n' ||
+            Text[Pos] == '\r'))
+      ++Pos;
+  }
+
+  bool fail(const std::string &Msg) {
+    size_t Line = 1;
+    for (size_t I = 0; I < Pos && I < Text.size(); ++I)
+      if (Text[I] == '\n')
+        ++Line;
+    Error = "line " + std::to_string(Line) + ": " + Msg;
+    return false;
+  }
+
+  std::string_view Text;
+  std::string &Error;
+  size_t Pos = 0;
+  int Depth = 0;
+};
+
+} // namespace
+
+bool csc::parseJson(std::string_view Text, JsonValue &Out,
+                    std::string &Error) {
+  Out = JsonValue();
+  return Parser(Text, Error).parseDocument(Out);
+}

@@ -1,0 +1,86 @@
+//===- ThreadPool.h - Small work-stealing thread pool -----------*- C++ -*-===//
+//
+// Part of the Cut-Shortcut pointer analysis reproduction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small fixed-size thread pool with per-worker deques and work
+/// stealing, backing the batch analysis executor. Submitted tasks are
+/// distributed round-robin over the worker deques; a worker pops its own
+/// deque LIFO (cache-warm) and steals FIFO from the other workers when its
+/// own deque drains, so long-running tasks (a scale-xxl solve) do not
+/// strand queued work behind them.
+///
+/// The pool makes no fairness or ordering promises — callers that need a
+/// deterministic result order (the batch executor) write results into
+/// pre-assigned slots and sequence them after wait().
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CSC_SUPPORT_THREADPOOL_H
+#define CSC_SUPPORT_THREADPOOL_H
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace csc {
+
+class ThreadPool {
+public:
+  /// Spawns \p Threads workers (0 = defaultThreadCount()).
+  explicit ThreadPool(unsigned Threads = 0);
+  /// Waits for all submitted tasks, then joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool &) = delete;
+  ThreadPool &operator=(const ThreadPool &) = delete;
+
+  /// Enqueues \p Task for execution on some worker. Thread-safe; tasks may
+  /// themselves submit further tasks. Tasks must not throw.
+  void submit(std::function<void()> Task);
+
+  /// Blocks until every submitted task (including tasks submitted by
+  /// tasks) has finished. Thread-safe, but must not be called from inside
+  /// a pool task (it would deadlock waiting on itself).
+  void wait();
+
+  unsigned threadCount() const {
+    return static_cast<unsigned>(Threads.size());
+  }
+
+  /// std::thread::hardware_concurrency(), clamped to at least 1.
+  static unsigned defaultThreadCount();
+
+private:
+  struct Worker {
+    std::mutex M;
+    std::deque<std::function<void()>> Tasks;
+  };
+
+  void workerLoop(unsigned Me);
+  /// Pops from own deque (back) or steals (front); null when all empty.
+  std::function<void()> takeTask(unsigned Me);
+
+  std::vector<std::unique_ptr<Worker>> Workers;
+  std::vector<std::thread> Threads;
+
+  std::mutex WakeM;
+  std::condition_variable WakeCV; ///< Workers sleep here when drained.
+  std::condition_variable IdleCV; ///< wait() sleeps here.
+  std::atomic<uint64_t> Queued{0};      ///< Submitted, not yet started.
+  std::atomic<uint64_t> Outstanding{0}; ///< Submitted, not yet finished.
+  std::atomic<uint64_t> NextQueue{0};   ///< Round-robin submission cursor.
+  std::atomic<bool> Stop{false};
+};
+
+} // namespace csc
+
+#endif // CSC_SUPPORT_THREADPOOL_H

@@ -1,0 +1,134 @@
+//===- JsonParseTest.cpp - Minimal JSON parser unit tests -----------------===//
+//
+// Part of the Cut-Shortcut pointer analysis reproduction.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/JsonParse.h"
+
+#include "support/Json.h"
+
+#include <gtest/gtest.h>
+
+using namespace csc;
+
+namespace {
+
+JsonValue parseOrDie(const std::string &Text) {
+  JsonValue V;
+  std::string Error;
+  EXPECT_TRUE(parseJson(Text, V, Error)) << Text << ": " << Error;
+  return V;
+}
+
+std::string parseError(const std::string &Text) {
+  JsonValue V;
+  std::string Error;
+  EXPECT_FALSE(parseJson(Text, V, Error)) << Text;
+  return Error;
+}
+
+} // namespace
+
+TEST(JsonParseTest, Scalars) {
+  EXPECT_TRUE(parseOrDie("null").isNull());
+  EXPECT_TRUE(parseOrDie("true").B);
+  EXPECT_FALSE(parseOrDie("false").B);
+  EXPECT_DOUBLE_EQ(parseOrDie("42").Num, 42.0);
+  EXPECT_DOUBLE_EQ(parseOrDie("-3.5e2").Num, -350.0);
+  EXPECT_EQ(parseOrDie("\"hi\"").Str, "hi");
+}
+
+TEST(JsonParseTest, StringEscapes) {
+  EXPECT_EQ(parseOrDie(R"("a\"b\\c\/d\n\t")").Str, "a\"b\\c/d\n\t");
+  // ASCII \u escapes decode; non-ASCII ones are preserved verbatim
+  // (documented limitation). Raw UTF-8 bytes pass through untouched.
+  EXPECT_EQ(parseOrDie("\"\\u0041\"").Str, "A");
+  EXPECT_EQ(parseOrDie("\"\\u00e9\"").Str, "\\u00e9");
+  EXPECT_EQ(parseOrDie("\"\xc3\xa9\"").Str, "\xc3\xa9");
+}
+
+TEST(JsonParseTest, NestedContainers) {
+  JsonValue V = parseOrDie(
+      R"({"entries": [{"program": "a.jir", "specs": ["ci", "csc"]},
+          {"n": 2, "ok": true}], "empty": {}, "none": []})");
+  ASSERT_TRUE(V.isObject());
+  const JsonValue *Entries = V.get("entries");
+  ASSERT_NE(Entries, nullptr);
+  ASSERT_TRUE(Entries->isArray());
+  ASSERT_EQ(Entries->Arr.size(), 2u);
+  EXPECT_EQ(Entries->Arr[0].get("program")->Str, "a.jir");
+  EXPECT_EQ(Entries->Arr[0].get("specs")->Arr[1].Str, "csc");
+  EXPECT_DOUBLE_EQ(Entries->Arr[1].get("n")->Num, 2.0);
+  EXPECT_TRUE(V.get("empty")->isObject());
+  EXPECT_TRUE(V.get("empty")->Obj.empty());
+  EXPECT_TRUE(V.get("none")->isArray());
+  EXPECT_EQ(V.get("missing"), nullptr);
+}
+
+TEST(JsonParseTest, ObjectKeepsInsertionOrder) {
+  JsonValue V = parseOrDie(R"({"z": 1, "a": 2, "m": 3})");
+  ASSERT_EQ(V.Obj.size(), 3u);
+  EXPECT_EQ(V.Obj[0].first, "z");
+  EXPECT_EQ(V.Obj[1].first, "a");
+  EXPECT_EQ(V.Obj[2].first, "m");
+}
+
+TEST(JsonParseTest, RoundTripsWriterOutput) {
+  JsonWriter W;
+  W.beginObject()
+      .kv("name", "batch \"quoted\"")
+      .kv("count", static_cast<uint64_t>(7))
+      .kv("ratio", 0.25)
+      .kv("on", true)
+      .key("items")
+      .beginArray()
+      .value("a\nb")
+      .value(static_cast<int64_t>(-1))
+      .null()
+      .endArray()
+      .endObject();
+  JsonValue V = parseOrDie(W.str());
+  EXPECT_EQ(V.get("name")->Str, "batch \"quoted\"");
+  EXPECT_DOUBLE_EQ(V.get("count")->Num, 7.0);
+  EXPECT_DOUBLE_EQ(V.get("ratio")->Num, 0.25);
+  EXPECT_TRUE(V.get("on")->B);
+  ASSERT_EQ(V.get("items")->Arr.size(), 3u);
+  EXPECT_EQ(V.get("items")->Arr[0].Str, "a\nb");
+  EXPECT_TRUE(V.get("items")->Arr[2].isNull());
+}
+
+TEST(JsonParseTest, Malformed) {
+  EXPECT_NE(parseError("").find("unexpected end"), std::string::npos);
+  EXPECT_NE(parseError("{\"a\": }").find("invalid token"),
+            std::string::npos);
+  EXPECT_NE(parseError("[1, 2").find("expected ',' or ']'"),
+            std::string::npos);
+  EXPECT_NE(parseError("{1: 2}").find("string object key"),
+            std::string::npos);
+  EXPECT_NE(parseError("{\"a\" 2}").find("expected ':'"),
+            std::string::npos);
+  EXPECT_NE(parseError("\"unterminated").find("unterminated"),
+            std::string::npos);
+  EXPECT_NE(parseError("{} trailing").find("trailing content"),
+            std::string::npos);
+  EXPECT_NE(parseError("nope").find("invalid token"), std::string::npos);
+  EXPECT_NE(parseError("1.2.3").find("malformed number"),
+            std::string::npos);
+}
+
+TEST(JsonParseTest, ErrorsCarryLineNumbers) {
+  std::string E = parseError("{\n  \"a\": 1,\n  \"b\": oops\n}");
+  EXPECT_EQ(E.rfind("line 3:", 0), 0u) << E;
+}
+
+TEST(JsonParseTest, DeepNestingIsAnErrorNotACrash) {
+  // Past the depth limit the parser must diagnose, not overflow the
+  // stack.
+  std::string Deep(100000, '[');
+  EXPECT_NE(parseError(Deep).find("too deeply nested"),
+            std::string::npos);
+  // A document at modest depth still parses.
+  std::string Ok = std::string(100, '[') + "1" + std::string(100, ']');
+  EXPECT_TRUE(parseOrDie(Ok).isArray());
+}

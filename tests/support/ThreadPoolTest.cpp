@@ -1,0 +1,100 @@
+//===- ThreadPoolTest.cpp - Work-stealing pool unit tests -----------------===//
+//
+// Part of the Cut-Shortcut pointer analysis reproduction.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/ThreadPool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <set>
+#include <thread>
+
+using namespace csc;
+
+TEST(ThreadPoolTest, RunsEverySubmittedTask) {
+  ThreadPool Pool(4);
+  EXPECT_EQ(Pool.threadCount(), 4u);
+  std::atomic<int> Count{0};
+  for (int I = 0; I != 1000; ++I)
+    Pool.submit([&Count] { Count.fetch_add(1); });
+  Pool.wait();
+  EXPECT_EQ(Count.load(), 1000);
+}
+
+TEST(ThreadPoolTest, WaitIsReusable) {
+  ThreadPool Pool(2);
+  std::atomic<int> Count{0};
+  Pool.submit([&Count] { Count.fetch_add(1); });
+  Pool.wait();
+  EXPECT_EQ(Count.load(), 1);
+  Pool.submit([&Count] { Count.fetch_add(1); });
+  Pool.submit([&Count] { Count.fetch_add(1); });
+  Pool.wait();
+  EXPECT_EQ(Count.load(), 3);
+}
+
+TEST(ThreadPoolTest, WaitWithNoTasksReturnsImmediately) {
+  ThreadPool Pool(2);
+  Pool.wait(); // must not hang
+}
+
+TEST(ThreadPoolTest, TasksMaySubmitTasks) {
+  ThreadPool Pool(3);
+  std::atomic<int> Count{0};
+  for (int I = 0; I != 10; ++I)
+    Pool.submit([&Pool, &Count] {
+      Count.fetch_add(1);
+      for (int K = 0; K != 5; ++K)
+        Pool.submit([&Count] { Count.fetch_add(1); });
+    });
+  Pool.wait(); // covers the children submitted from inside tasks
+  EXPECT_EQ(Count.load(), 10 + 10 * 5);
+}
+
+TEST(ThreadPoolTest, LongTaskDoesNotStrandQueuedWork) {
+  // One slow task must not block the rest of the batch: with stealing,
+  // the other workers drain the queue while the slow task runs.
+  ThreadPool Pool(4);
+  std::atomic<bool> SlowDone{false};
+  std::atomic<int> FastDone{0};
+  Pool.submit([&SlowDone] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    SlowDone.store(true);
+  });
+  for (int I = 0; I != 64; ++I)
+    Pool.submit([&FastDone] { FastDone.fetch_add(1); });
+  // The fast tasks should all finish well before the slow one.
+  auto Deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(80);
+  while (FastDone.load() != 64 &&
+         std::chrono::steady_clock::now() < Deadline)
+    std::this_thread::yield();
+  EXPECT_EQ(FastDone.load(), 64);
+  EXPECT_FALSE(SlowDone.load());
+  Pool.wait();
+  EXPECT_TRUE(SlowDone.load());
+}
+
+TEST(ThreadPoolTest, WorkSpreadsOverMultipleThreads) {
+  ThreadPool Pool(4);
+  std::mutex M;
+  std::set<std::thread::id> Ids;
+  for (int I = 0; I != 200; ++I)
+    Pool.submit([&M, &Ids] {
+      // A short stall so a single worker cannot race through the queue
+      // before the others wake.
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+      std::lock_guard<std::mutex> G(M);
+      Ids.insert(std::this_thread::get_id());
+    });
+  Pool.wait();
+  EXPECT_GE(Ids.size(), 2u) << "all 200 tasks ran on one thread";
+}
+
+TEST(ThreadPoolTest, DefaultThreadCountIsPositive) {
+  EXPECT_GE(ThreadPool::defaultThreadCount(), 1u);
+}

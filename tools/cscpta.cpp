@@ -9,13 +9,18 @@
 //
 // Usage:
 //   cscpta [options] <file.jir>...
+//   cscpta [options] --batch <manifest.json>
 //     --analyses <list>    comma-separated specs (default: csc); e.g.
 //                          "ci,csc,2obj" or "k-type;k=3,zipper-e;pv=0.05"
 //     --json               emit a JSON report on stdout
 //     --points-to <v>      also query pt() of "Class.method.var"
-//                          (repeatable)
+//                          (repeatable; not available with --batch)
 //     --budget-ms <n>      wall-clock budget per analysis (0 = unlimited)
 //     --work-budget <n>    points-to-insertion budget per analysis
+//     --jobs <n>           run analyses on up to n pool threads
+//     --batch <manifest>   run a {program, specs[]} manifest (see
+//                          docs/CLI.md for the schema)
+//     --repeat <n>         run the batch n times in-process (cache demo)
 //     --no-stdlib          do not prepend the modelled standard library
 //     --verbose            phase progress on stderr
 //     --list               list registered analyses and exit
@@ -26,6 +31,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "client/AnalysisSession.h"
+#include "client/BatchExecutor.h"
 #include "client/Report.h"
 
 #include <cerrno>
@@ -43,24 +49,32 @@ int usage(const char *Prog) {
   std::fprintf(
       stderr,
       "usage: %s [options] <file.jir>...\n"
+      "       %s [options] --batch <manifest.json>\n"
       "  --analyses <list>  comma-separated analysis specs (default: csc)\n"
       "  --json             emit a JSON report on stdout\n"
       "  --points-to <var>  query pt() of \"Class.method.var\" (repeatable)\n"
       "  --budget-ms <n>    wall-clock budget per analysis in ms\n"
       "  --work-budget <n>  points-to-insertion budget per analysis\n"
+      "  --jobs <n>         run analyses on up to n pool threads\n"
+      "  --batch <manifest> run a {program, specs[]} manifest\n"
+      "  --repeat <n>       run the batch n times in-process\n"
       "  --no-stdlib        do not prepend the modelled standard library\n"
       "  --verbose          phase progress on stderr\n"
       "  --list             list registered analyses and exit\n",
-      Prog);
+      Prog, Prog);
   return 2;
 }
 
 struct CliOptions {
   std::vector<std::string> Files;
   std::string Analyses = "csc";
+  bool AnalysesSet = false; ///< --analyses given (conflicts with --batch).
   std::vector<std::string> PointsToQueries;
+  std::string BatchManifest;
   double BudgetMs = 0;
   uint64_t WorkBudget = ~0ULL;
+  unsigned Jobs = 1;
+  unsigned Repeat = 1;
   bool Json = false;
   bool NoStdlib = false;
   bool Verbose = false;
@@ -118,6 +132,106 @@ bool parseUint64Arg(const std::string &Val, const char *Opt, uint64_t &Out) {
   return true;
 }
 
+bool parsePositiveArg(const std::string &Val, const char *Opt,
+                      unsigned &Out) {
+  uint64_t N = 0;
+  if (!parseUint64Arg(Val, Opt, N))
+    return false; // already diagnosed
+  if (N == 0 || N > 1024) {
+    std::fprintf(stderr, "error: %s expects a positive integer <= 1024\n",
+                 Opt);
+    return false;
+  }
+  Out = static_cast<unsigned>(N);
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// Batch mode
+//===----------------------------------------------------------------------===//
+
+void printBatchHuman(const BatchReport &Report) {
+  std::printf("%-18s %-18s %-16s %10s %10s %10s %10s %12s\n", "entry",
+              "analysis", "status", "time(ms)", "#fail-cast", "#reach-mtd",
+              "#poly-call", "#call-edge");
+  for (const BatchEntryResult &E : Report.Entries) {
+    if (E.LoadFailed) {
+      std::printf("%-18s %-18s %-16s\n", E.Label.c_str(), "-",
+                  "load-failed");
+      continue;
+    }
+    for (const BatchRunResult &R : E.Runs) {
+      if (R.Status != RunStatus::Completed) {
+        std::printf("%-18s %-18s %-16s %10.1f %10s %10s %10s %12s\n",
+                    E.Label.c_str(), R.Spec.c_str(),
+                    runStatusName(R.Status), R.WallMs, "-", "-", "-", "-");
+        continue;
+      }
+      std::printf("%-18s %-18s %-13s%3s %10.1f %10u %10u %10u %12llu\n",
+                  E.Label.c_str(), R.Spec.c_str(), runStatusName(R.Status),
+                  R.FromCache ? "(c)" : "", R.WallMs, R.Metrics.FailCasts,
+                  R.Metrics.ReachMethods, R.Metrics.PolyCalls,
+                  static_cast<unsigned long long>(R.Metrics.CallEdges));
+    }
+  }
+}
+
+void printBatchStats(const BatchReport &Report, unsigned Pass,
+                     unsigned Passes) {
+  double Secs = Report.WallMs / 1000.0;
+  std::fprintf(stderr,
+               "[cscpta] batch pass %u/%u: %zu runs, jobs %u, %.1f ms "
+               "(%.1f specs/s), cache hits %llu, misses %llu\n",
+               Pass, Passes, Report.totalRuns(), Report.Jobs,
+               Report.WallMs,
+               Secs > 0 ? static_cast<double>(Report.totalRuns()) / Secs
+                        : 0.0,
+               static_cast<unsigned long long>(Report.CacheHits),
+               static_cast<unsigned long long>(Report.CacheMisses));
+}
+
+int runBatch(const CliOptions &Cli) {
+  std::vector<BatchEntry> Entries;
+  std::string Error;
+  if (!loadBatchManifest(Cli.BatchManifest, Entries, Error)) {
+    std::fprintf(stderr, "error: %s\n", Error.c_str());
+    return 1;
+  }
+
+  BatchExecutor::Options BO;
+  BO.Jobs = Cli.Jobs;
+  BO.WithStdlib = !Cli.NoStdlib;
+  BO.WorkBudget = Cli.WorkBudget;
+  BO.TimeBudgetMs = Cli.BudgetMs;
+  BatchExecutor Exec(BO);
+
+  BatchReport Report;
+  for (unsigned Pass = 1; Pass <= Cli.Repeat; ++Pass) {
+    Report = Exec.run(Entries);
+    printBatchStats(Report, Pass, Cli.Repeat);
+  }
+
+  if (Cli.Json) {
+    std::printf("%s\n", Report.aggregateJson().c_str());
+  } else {
+    printBatchHuman(Report);
+    std::printf("batch: %zu runs over %zu entries, jobs %u, last pass "
+                "%.1f ms, cache hits %llu\n",
+                Report.totalRuns(), Report.Entries.size(), Report.Jobs,
+                Report.WallMs,
+                static_cast<unsigned long long>(Report.CacheHits));
+  }
+  for (const BatchEntryResult &E : Report.Entries) {
+    for (const std::string &D : E.LoadDiags)
+      std::fprintf(stderr, "%s: %s\n", E.Label.c_str(), D.c_str());
+    for (const BatchRunResult &R : E.Runs)
+      if (R.Status == RunStatus::SpecError)
+        std::fprintf(stderr, "error: %s: %s\n", E.Label.c_str(),
+                     R.Error.c_str());
+  }
+  return Report.exitCode();
+}
+
 void printPointsTo(const ResultView &View, const std::string &Query) {
   VarId V = View.findVar(Query);
   if (V == InvalidId) {
@@ -164,6 +278,7 @@ int main(int Argc, char **Argv) {
     if (matchesOpt(Argv[I], "--analyses")) {
       if (!takeValue(Argc, Argv, I, "--analyses", Cli.Analyses))
         return usage(Argv[0]);
+      Cli.AnalysesSet = true;
     } else if (matchesOpt(Argv[I], "--points-to")) {
       if (!takeValue(Argc, Argv, I, "--points-to", Val))
         return usage(Argv[0]);
@@ -175,6 +290,17 @@ int main(int Argc, char **Argv) {
     } else if (matchesOpt(Argv[I], "--work-budget")) {
       if (!takeValue(Argc, Argv, I, "--work-budget", Val) ||
           !parseUint64Arg(Val, "--work-budget", Cli.WorkBudget))
+        return usage(Argv[0]);
+    } else if (matchesOpt(Argv[I], "--jobs")) {
+      if (!takeValue(Argc, Argv, I, "--jobs", Val) ||
+          !parsePositiveArg(Val, "--jobs", Cli.Jobs))
+        return usage(Argv[0]);
+    } else if (matchesOpt(Argv[I], "--repeat")) {
+      if (!takeValue(Argc, Argv, I, "--repeat", Val) ||
+          !parsePositiveArg(Val, "--repeat", Cli.Repeat))
+        return usage(Argv[0]);
+    } else if (matchesOpt(Argv[I], "--batch")) {
+      if (!takeValue(Argc, Argv, I, "--batch", Cli.BatchManifest))
         return usage(Argv[0]);
     } else if (Arg == "--json") {
       Cli.Json = true;
@@ -203,6 +329,29 @@ int main(int Argc, char **Argv) {
                 "\"ci,k-type;k=3,zipper-e;pv=0.05\"\n");
     return 0;
   }
+  if (!Cli.BatchManifest.empty()) {
+    if (!Cli.Files.empty()) {
+      std::fprintf(stderr,
+                   "error: --batch takes programs from the manifest; "
+                   "positional .jir files are not allowed\n");
+      return usage(Argv[0]);
+    }
+    if (!Cli.PointsToQueries.empty()) {
+      std::fprintf(stderr,
+                   "error: --points-to is not available with --batch\n");
+      return usage(Argv[0]);
+    }
+    if (Cli.AnalysesSet) {
+      std::fprintf(stderr, "error: --analyses conflicts with --batch "
+                           "(specs come from the manifest)\n");
+      return usage(Argv[0]);
+    }
+    return runBatch(Cli);
+  }
+  if (Cli.Repeat != 1) {
+    std::fprintf(stderr, "error: --repeat requires --batch\n");
+    return usage(Argv[0]);
+  }
   if (Cli.Files.empty())
     return usage(Argv[0]);
 
@@ -225,7 +374,7 @@ int main(int Argc, char **Argv) {
   }
   const Program &P = S->program();
 
-  std::vector<AnalysisRun> Runs = S->runAll(Cli.Analyses);
+  std::vector<AnalysisRun> Runs = S->runAll(Cli.Analyses, Cli.Jobs);
   if (Runs.empty()) {
     std::fprintf(stderr, "error: no analyses requested\n");
     return usage(Argv[0]);
