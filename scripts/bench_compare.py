@@ -1,0 +1,95 @@
+#!/usr/bin/env python3
+"""Compare two BenchJson documents and flag wall-time regressions.
+
+Usage: bench_compare.py BASELINE.json CURRENT.json [--threshold 0.25]
+
+Both inputs are documents written by the bench harnesses' --json flag
+(see docs/BENCHMARKS.md for the schema). Runs are keyed by
+(program, analysis); a run regresses when it completed in both documents
+and its total_ms grew by more than the threshold (default 25%). Runs
+that appear in only one document (tier or spec changes) are reported but
+never fail the comparison; a run that flipped from completed to
+budget-exhausted always fails.
+
+Exit codes: 0 no regression, 1 regression(s), 2 usage/input error.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_runs(path):
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            doc = json.load(fh)
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"error: cannot read {path}: {exc}", file=sys.stderr)
+        sys.exit(2)
+    runs = {}
+    for record in doc.get("records", []):
+        run = record.get("run")
+        if not isinstance(run, dict):
+            continue  # program-size / custom records carry no timings
+        key = (record.get("program", "?"), run.get("analysis", "?"))
+        runs[key] = {
+            "status": run.get("status", "?"),
+            "total_ms": run.get("timings", {}).get("total_ms"),
+        }
+    return doc.get("bench", "?"), runs
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("baseline")
+    ap.add_argument("current")
+    ap.add_argument("--threshold", type=float, default=0.25,
+                    help="fractional wall-time growth that counts as a "
+                         "regression (default 0.25 = +25%%)")
+    args = ap.parse_args()
+
+    base_name, base = load_runs(args.baseline)
+    cur_name, cur = load_runs(args.current)
+    if base_name != cur_name:
+        print(f"note: comparing different benches "
+              f"({base_name} vs {cur_name})", file=sys.stderr)
+
+    regressions, improvements, skipped = [], [], []
+    for key in sorted(base.keys() | cur.keys()):
+        label = f"{key[0]}/{key[1]}"
+        b, c = base.get(key), cur.get(key)
+        if b is None or c is None:
+            skipped.append(f"{label}: only in "
+                           f"{'current' if b is None else 'baseline'}")
+            continue
+        if b["status"] == "completed" and c["status"] != "completed":
+            regressions.append(f"{label}: completed -> {c['status']}")
+            continue
+        if b["status"] != "completed" or c["status"] != "completed":
+            skipped.append(f"{label}: status {b['status']} vs {c['status']}")
+            continue
+        if not b["total_ms"]:
+            skipped.append(f"{label}: baseline has no timing")
+            continue
+        ratio = c["total_ms"] / b["total_ms"]
+        line = (f"{label}: {b['total_ms']:.1f} ms -> {c['total_ms']:.1f} ms "
+                f"({ratio:.2f}x)")
+        if ratio > 1.0 + args.threshold:
+            regressions.append(line)
+        elif ratio < 1.0 - args.threshold:
+            improvements.append(line)
+
+    for line in skipped:
+        print(f"skip  {line}")
+    for line in improvements:
+        print(f"good  {line}")
+    for line in regressions:
+        print(f"REGR  {line}")
+    compared = len(base.keys() & cur.keys())
+    print(f"compared {compared} runs, {len(regressions)} regression(s) "
+          f"(threshold +{args.threshold:.0%})")
+    return 1 if regressions else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

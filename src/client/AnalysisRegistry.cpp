@@ -266,15 +266,16 @@ AnalysisRegistry::Factory kindFactory(AnalysisKind Kind) {
     unsigned K = 2;
     ZipperOptions Z;
     CutShortcutOptions C;
+    bool SccOn = true; // `scc`: solver cycle elimination, every analysis.
     switch (Kind) {
     case AnalysisKind::CI: {
-      static const char *Known[] = {"engine", nullptr};
+      static const char *Known[] = {"engine", "scc", nullptr};
       if (!Spec.checkKnownParams(Known, Error))
         return false;
       break;
     }
     case AnalysisKind::CSC: {
-      static const char *Known[] = {"engine", "field", "load",
+      static const char *Known[] = {"engine", "scc", "field", "load",
                                     "container", "local", nullptr};
       if (!Spec.checkKnownParams(Known, Error) ||
           !Spec.paramBool("field", C.FieldStore, Error) ||
@@ -285,8 +286,8 @@ AnalysisRegistry::Factory kindFactory(AnalysisKind Kind) {
       break;
     }
     case AnalysisKind::ZipperE: {
-      static const char *Known[] = {"engine", "k", "pv", "cf", "floor",
-                                    nullptr};
+      static const char *Known[] = {"engine", "scc", "k", "pv", "cf",
+                                    "floor", nullptr};
       double Floor = -1;
       if (!Spec.checkKnownParams(Known, Error) ||
           !Spec.paramUnsigned("k", K, Error) ||
@@ -301,15 +302,18 @@ AnalysisRegistry::Factory kindFactory(AnalysisKind Kind) {
     case AnalysisKind::TwoObj:
     case AnalysisKind::TwoType:
     case AnalysisKind::TwoCallSite: {
-      static const char *Known[] = {"engine", "k", nullptr};
+      static const char *Known[] = {"engine", "scc", "k", nullptr};
       if (!Spec.checkKnownParams(Known, Error) ||
           !Spec.paramUnsigned("k", K, Error))
         return false;
       break;
     }
     }
+    if (!Spec.paramBool("scc", SccOn, Error))
+      return false;
     Out = makeKindRecipe(Kind, K, /*DoopMode=*/false, Z, C);
     Out.Name = Spec.Text;
+    Out.CycleElimination = SccOn;
     return applyEngineParam(Spec, Out, Error);
   };
 }

@@ -90,6 +90,9 @@ struct AnalysisRecipe {
   std::string Name; ///< Display name (the canonical spec).
   AnalysisKind Kind = AnalysisKind::CI; ///< Informational/compat tag.
   bool DoopMode = false; ///< Full re-propagation engine (Table 1).
+  /// Online cycle elimination in the solver (spec parameter `scc`,
+  /// default on). Engine-level only: results are identical either way.
+  bool CycleElimination = true;
   bool UseCsc = false;   ///< Attach a CutShortcutPlugin.
   CutShortcutOptions Csc;
   bool UseZipper = false; ///< Run (or reuse) the Zipper-e pre-analysis.

@@ -214,6 +214,7 @@ AnalysisRun AnalysisSession::run(const AnalysisRecipe &Recipe) {
 
   SolverOptions SOpts;
   SOpts.DeltaPropagation = !Recipe.DoopMode;
+  SOpts.CycleElimination = Recipe.CycleElimination;
   SOpts.WorkBudget = Opts.WorkBudget;
   SOpts.TimeBudgetMs = Opts.TimeBudgetMs;
 

@@ -18,10 +18,14 @@ void csc::appendMetricsJson(JsonWriter &J, const PrecisionMetrics &M) {
 }
 
 void csc::appendStatsJson(JsonWriter &J, const SolverStats &S) {
+  // Only fixpoint-determined counters are serialized: the report must be
+  // a pure function of the computed result, byte-identical across solver
+  // scheduling choices (worklist order, cycle elimination on/off).
+  // Scheduling diagnostics — WorklistPops, the SccStats block — are
+  // surfaced via `cscpta --stats` instead.
   J.beginObject()
       .kv("pts_insertions", S.PtsInsertions)
       .kv("pfg_edges", S.PFGEdges)
-      .kv("worklist_pops", S.WorklistPops)
       .kv("call_edges_cs", S.CallEdgesCS)
       .kv("pointers", S.NumPtrs)
       .kv("cs_objects", S.NumCSObjs)

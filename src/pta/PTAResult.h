@@ -25,9 +25,31 @@
 
 namespace csc {
 
+/// Online cycle-elimination counters (SolverOptions::CycleElimination).
+/// Scheduling diagnostics like SolverStats::WorklistPops: reported via
+/// `cscpta --stats` and benches, never serialized into result reports —
+/// result JSON must stay a pure function of the computed fixpoint.
+struct SccStats {
+  uint64_t SccsFound = 0;        ///< Collapse events (online + full pass).
+  uint64_t MembersCollapsed = 0; ///< Pointers absorbed into another rep.
+  uint64_t OnlineCollapses = 0;  ///< Found by the edge-insertion probe.
+  uint64_t FullPasses = 0;       ///< Periodic whole-graph SCC passes.
+  /// Estimated (pointer, object) insertions the collapsed classes would
+  /// have performed separately: each delta merged into a k-member class
+  /// saves k-1 re-insertions plus their downstream re-propagation.
+  uint64_t PropagationsSaved = 0;
+};
+
 struct SolverStats {
-  uint64_t PtsInsertions = 0; ///< Work measure (pointer, object) additions.
+  /// Work measure: logical (pointer, object) additions. Under cycle
+  /// elimination an insertion into a k-member representative counts k
+  /// times, so at a completed fixpoint the value equals the sum of all
+  /// per-pointer set sizes — identical with the subsystem on or off.
+  uint64_t PtsInsertions = 0;
   uint64_t PFGEdges = 0;
+  /// Worklist pops actually performed. Scheduling-dependent (changes
+  /// with worklist order and cycle elimination), hence excluded from
+  /// result JSON; see appendStatsJson.
   uint64_t WorklistPops = 0;
   uint64_t CallEdgesCS = 0;
   uint32_t NumPtrs = 0;
@@ -35,6 +57,7 @@ struct SolverStats {
   uint32_t NumContexts = 0;
   uint32_t ReachableCS = 0;
   uint32_t ReachableCI = 0;
+  SccStats Scc; ///< Cycle-elimination diagnostics (not serialized).
 };
 
 class PTAResult {

@@ -11,6 +11,14 @@
 /// the Cut-Shortcut relay rule ([RelayEdge], Fig. 9) needs the in-edges of
 /// cut return variables.
 ///
+/// This graph always stores **original, un-collapsed** endpoints: under
+/// online cycle elimination (SccCollapser) the solver propagates on a
+/// separate representative-level adjacency, while this graph remains the
+/// system of record for edge dedup and Stats.PFGEdges, for the plugins'
+/// pred()/succ() queries, for shortcut-edge bookkeeping, and for graph
+/// dumps — so every consumer sees the same PFG whether or not cycles
+/// were collapsed.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef CSC_PTA_POINTERFLOWGRAPH_H

@@ -39,6 +39,11 @@ Solver::Solver(const Program &P, SolverOptions Opts) : P(P), Opts(Opts) {
   PFG.reserveHint(P.numVars(), 2 * static_cast<std::size_t>(P.numStmts()));
   ShortcutEdgeKeys.reserve(P.numStmts() / 4);
 
+  if (Opts.CycleElimination) {
+    Scc = std::make_unique<SccCollapser>(PFG);
+    Scc->reserveHint(P.numVars());
+  }
+
   // Index statements by their base variable so points-to growth of a base
   // triggers exactly the dependent loads/stores/calls.
   BaseUses.resize(P.numVars());
@@ -119,11 +124,30 @@ void Solver::ensurePtr(PtrId Pr) {
 }
 
 void Solver::markDirty(PtrId Pr) {
+  // Pr is a representative (enqueue paths remap before calling). New
+  // entries always join the next sweep; refillWorklist orders them.
   ensurePtr(Pr);
   if (!InQueue[Pr]) {
     InQueue[Pr] = 1;
-    Queue.push_back(Pr);
+    Next.push_back(Pr);
   }
+}
+
+void Solver::refillWorklist() {
+  // Seal the next sweep in approximate topological order. Entries are
+  // remapped through their representative for ordering (a collapse may
+  // have absorbed them since they were pushed); ties break on the raw id
+  // so runs are deterministic.
+  std::sort(Next.begin(), Next.end(), [this](PtrId A, PtrId B) {
+    uint32_t OA = Scc ? Scc->order(Scc->rep(A)) : A;
+    uint32_t OB = Scc ? Scc->order(Scc->rep(B)) : B;
+    if (OA != OB)
+      return OA < OB;
+    return A < B;
+  });
+  Current.swap(Next);
+  Next.clear();
+  Cursor = 0;
 }
 
 const PointsToSet &Solver::filterMask(TypeId Filter) {
@@ -145,6 +169,7 @@ const PointsToSet &Solver::filterMask(TypeId Filter) {
 }
 
 void Solver::enqueueObj(PtrId Pr, CSObjId O) {
+  Pr = repOf(Pr);
   ensurePtr(Pr);
   if (Opts.DeltaPropagation) {
     if (Pts[Pr].contains(O))
@@ -154,12 +179,14 @@ void Solver::enqueueObj(PtrId Pr, CSObjId O) {
     return;
   }
   if (Pts[Pr].insert(O)) {
-    ++Stats.PtsInsertions;
+    // Logical work counter: the fact lands on every member of the class.
+    Stats.PtsInsertions += classSizeOf(Pr);
     markDirty(Pr);
   }
 }
 
 void Solver::enqueueSet(PtrId Pr, const PointsToSet &Set, TypeId Filter) {
+  Pr = repOf(Pr);
   ensurePtr(Pr);
   if (Opts.DeltaPropagation) {
     // Pending |= (Set ∩ mask) ∖ Pts: one word-parallel pass; only
@@ -177,22 +204,46 @@ void Solver::enqueueSet(PtrId Pr, const PointsToSet &Set, TypeId Filter) {
                        ? Pts[Pr].unionWith(Set)
                        : Pts[Pr].unionWithFiltered(Set, filterMask(Filter));
   if (Added) {
-    Stats.PtsInsertions += Added;
+    Stats.PtsInsertions += static_cast<uint64_t>(Added) * classSizeOf(Pr);
     markDirty(Pr);
   }
 }
 
 bool Solver::addPFGEdge(PtrId Src, PtrId Dst, TypeId Filter,
                         EdgeOrigin Origin) {
+  // The original-pointer PFG stays the system of record: it dedups on
+  // un-collapsed endpoints, serves plugin pred()/succ() queries and graph
+  // dumps, and keeps Stats.PFGEdges independent of collapsing.
   if (!PFG.addEdge(Src, Dst, Filter))
     return false;
   ++Stats.PFGEdges;
   ensurePtr(std::max(Src, Dst));
   for (SolverPlugin *Pl : Plugins)
     Pl->onNewPFGEdge(Src, Dst, Origin);
-  const PointsToSet &SrcPts = ptsOf(Src);
+
+  if (!Scc) {
+    const PointsToSet &SrcPts = ptsOf(Src);
+    if (!SrcPts.empty())
+      enqueueSet(Dst, SrcPts, Filter);
+    return true;
+  }
+
+  // Propagation runs on the representative view of this edge. An
+  // intra-class edge carries no flow (the class shares one set).
+  Scc->noteEdge(Src, Dst);
+  PtrId RS = Scc->rep(Src), RT = Scc->rep(Dst);
+  if (RS == RT)
+    return true;
+  const PointsToSet &SrcPts = Pts[RS];
   if (!SrcPts.empty())
-    enqueueSet(Dst, SrcPts, Filter);
+    enqueueSet(RT, SrcPts, Filter);
+  // Online detection: only unfiltered edges can close a collapsible
+  // cycle, and only when the edge runs against the approximate topo
+  // order is a probe worth it. Detection is suppressed while a collapse
+  // is in flight (the full pass mops up anything missed).
+  if (!InCollapse && Filter == InvalidId && Scc->looksLikeBackEdge(RS, RT) &&
+      Scc->findCycle(RS, RT, CycleScratch))
+    collapseClass(CycleScratch);
   return true;
 }
 
@@ -369,6 +420,147 @@ void Solver::processPointer(PtrId Pr, const PointsToSet &Delta) {
     Pl->onNewPointsTo(Pr, Delta);
 }
 
+void Solver::propagateAlongEdges(PtrId Rep, const PointsToSet &Set) {
+  // The representative's out-edges are the union of its members' original
+  // PFG out-edges (the collapsed graph is a view, not a copy — see
+  // SccCollapser.h). Intra-class targets remap to Rep and diff to
+  // nothing; enqueueSet remaps every target through its representative.
+  if (!Scc) {
+    for (const PFGEdge &E : PFG.succ(Rep))
+      enqueueSet(E.To, Set, E.Filter);
+    return;
+  }
+  const std::vector<PtrId> *Members = Scc->membersOrNull(Rep);
+  if (!Members) {
+    for (const PFGEdge &E : PFG.succ(Rep))
+      enqueueSet(E.To, Set, E.Filter);
+    return;
+  }
+  // Most of a collapsed class's edges point back into the class (that is
+  // what made it a class); skip them up front instead of paying a no-op
+  // word-parallel diff against the class's own set per edge per delta.
+  for (PtrId M : *Members)
+    for (const PFGEdge &E : PFG.succ(M))
+      if (repOf(E.To) != Rep)
+        enqueueSet(E.To, Set, E.Filter);
+}
+
+void Solver::processClass(PtrId Rep, const PointsToSet &Delta) {
+  if (!Scc) {
+    processPointer(Rep, Delta);
+    return;
+  }
+  const std::vector<PtrId> *Members = Scc->membersOrNull(Rep);
+  if (!Members) {
+    processPointer(Rep, Delta);
+    return;
+  }
+  // Un-collapsed view for statements and plugins: the delta reaches every
+  // member pointer, exactly as if each still carried its own set. Copy —
+  // a nested online collapse (processPointer adds edges) rewrites the
+  // collapser's member table.
+  std::vector<PtrId> Snapshot = *Members;
+  for (PtrId M : Snapshot)
+    processPointer(M, Delta);
+}
+
+void Solver::collapseClass(const std::vector<PtrId> &Reps) {
+  // Canonicalize defensively: remap through current representatives and
+  // dedup (a probe path can touch a class twice through stale edges).
+  std::vector<PtrId> Classes;
+  Classes.reserve(Reps.size());
+  for (PtrId R : Reps)
+    Classes.push_back(Scc->rep(R));
+  std::sort(Classes.begin(), Classes.end());
+  Classes.erase(std::unique(Classes.begin(), Classes.end()),
+                Classes.end());
+  if (Classes.size() < 2)
+    return;
+
+  InCollapse = true;
+
+  // (a) Semantic snapshot: the merged set, and per class the catch-up
+  // delta its members are missing plus the member list (mergeClass
+  // rewires both). Pending work and queue flags consolidate on the
+  // winner; stale worklist entries die at pop via the cleared flags.
+  PtrId MaxRep = 0;
+  for (PtrId C : Classes)
+    MaxRep = std::max(MaxRep, C);
+  ensurePtr(MaxRep);
+
+  PointsToSet Merged;
+  for (PtrId C : Classes)
+    Merged.unionWith(Pts[C]);
+
+  struct CatchUp {
+    std::vector<PtrId> Members; ///< Snapshot (single element if lone).
+    PointsToSet Delta;          ///< Merged ∖ the class's previous set.
+  };
+  std::vector<CatchUp> CatchUps;
+  PointsToSet MergedPending;
+  bool AnyQueued = false;
+  for (PtrId C : Classes) {
+    CatchUp CU;
+    CU.Delta.unionWithExcluding(Merged, Pts[C]);
+    if (!CU.Delta.empty()) {
+      if (const std::vector<PtrId> *M = Scc->membersOrNull(C))
+        CU.Members = *M;
+      else
+        CU.Members.push_back(C);
+      CatchUps.push_back(std::move(CU));
+    }
+    MergedPending.unionWith(Pending[C]);
+    Pending[C].clear();
+    AnyQueued = AnyQueued || InQueue[C];
+    InQueue[C] = 0;
+  }
+
+  // (b) Structural merge: union-find, member lists, orders, adjacency.
+  PtrId W = Scc->mergeClass(Classes);
+  Pts[W] = std::move(Merged);
+  Pending[W] = std::move(MergedPending);
+  // Release the losing classes' storage outright (clear() would keep the
+  // buffers): the slots are unreachable now — every reader remaps
+  // through the representative — and a class built over many merges
+  // would otherwise retain one dead bitmap per absorbed representative.
+  for (PtrId C : Classes)
+    if (C != W) {
+      Pts[C] = PointsToSet();
+      Pending[C] = PointsToSet();
+    }
+  if (!Pending[W].empty() || (AnyQueued && !Opts.DeltaPropagation))
+    markDirty(W);
+
+  // (c) Fire the semantics of the merge. First flow the merged set along
+  // the class's out-edges (every member's original out-edges; intra-class
+  // targets diff to nothing) — targets that only saw one member's set now
+  // receive the rest; the word-parallel diff at each target keeps this
+  // cheap. Then replay the catch-up delta for every member whose class
+  // was missing facts: statement reprocessing and plugin callbacks
+  // observe exactly the growth a collapse-free run would have propagated
+  // around the cycle. Logical insertions count per catching-up member.
+  // Nested edge insertions self-propagate; nested detection stays off
+  // until the collapse completes.
+  propagateAlongEdges(W, Pts[W]);
+  for (const CatchUp &CU : CatchUps) {
+    Stats.PtsInsertions +=
+        static_cast<uint64_t>(CU.Delta.size()) * CU.Members.size();
+    Stats.Scc.PropagationsSaved +=
+        static_cast<uint64_t>(CU.Delta.size()) * (CU.Members.size() - 1);
+    for (PtrId M : CU.Members)
+      processPointer(M, CU.Delta);
+  }
+
+  InCollapse = false;
+}
+
+void Solver::runFullSccPass() {
+  std::vector<std::vector<PtrId>> Sccs;
+  Scc->fullPass(Sccs, Stats.PtsInsertions);
+  for (const std::vector<PtrId> &Cycle : Sccs)
+    collapseClass(Cycle);
+}
+
 PTAResult Solver::solve() {
   Clock.reset();
   PTAResult R;
@@ -384,7 +576,12 @@ PTAResult Solver::solve() {
   PointsToSet FullSet;
   bool MoreRounds = true;
   while (MoreRounds) {
-    while (!Queue.empty()) {
+    while (true) {
+      if (Cursor == Current.size()) {
+        if (Next.empty())
+          break;
+        refillWorklist();
+      }
       if (Stats.PtsInsertions > Opts.WorkBudget) {
         Exhausted = true;
         break;
@@ -394,10 +591,17 @@ PTAResult Solver::solve() {
         Exhausted = true;
         break;
       }
-      ++Stats.WorklistPops;
-      PtrId Pr = Queue.front();
-      Queue.pop_front();
+      // Periodic fallback: a bounded full Tarjan pass over the
+      // representative graph (scheduled on edge growth / aborted
+      // probes), which also refreshes the worklist's topological order.
+      if (Scc && Scc->fullPassDue(Stats.PtsInsertions))
+        runFullSccPass();
+
+      PtrId Pr = repOf(Current[Cursor++]);
+      if (!InQueue[Pr])
+        continue; // Stale entry: absorbed by a collapse, or a duplicate.
       InQueue[Pr] = 0;
+      ++Stats.WorklistPops;
 
       if (Opts.DeltaPropagation) {
         // Merge the pending facts in one word-parallel union; Delta
@@ -406,10 +610,16 @@ PTAResult Solver::solve() {
         Pending[Pr].clear();
         if (!Added)
           continue;
-        Stats.PtsInsertions += Added;
-        for (const PFGEdge &E : PFG.succ(Pr))
-          enqueueSet(E.To, Delta, E.Filter);
-        processPointer(Pr, Delta);
+        // Logical work counter: every member of the class gains Added
+        // facts, so a completed run reports the same total with cycle
+        // elimination on or off.
+        uint32_t Members = classSizeOf(Pr);
+        Stats.PtsInsertions += static_cast<uint64_t>(Added) * Members;
+        if (Members > 1)
+          Stats.Scc.PropagationsSaved +=
+              static_cast<uint64_t>(Added) * (Members - 1);
+        propagateAlongEdges(Pr, Delta);
+        processClass(Pr, Delta);
       } else {
         // Full re-propagation (Doop-style): reprocess the complete set.
         // The snapshot is a word-level copy and the per-edge unions diff
@@ -418,9 +628,8 @@ PTAResult Solver::solve() {
         if (Pts[Pr].empty())
           continue;
         FullSet = Pts[Pr];
-        for (const PFGEdge &E : PFG.succ(Pr))
-          enqueueSet(E.To, FullSet, E.Filter);
-        processPointer(Pr, FullSet);
+        propagateAlongEdges(Pr, FullSet);
+        processClass(Pr, FullSet);
       }
     }
     // Worklist drained (or budget hit): give plugins a chance to resolve
@@ -430,13 +639,22 @@ PTAResult Solver::solve() {
       break;
     for (SolverPlugin *Pl : Plugins)
       Pl->onFixpoint();
-    MoreRounds = !Queue.empty();
+    MoreRounds = !Next.empty() || Cursor != Current.size();
   }
 
   for (SolverPlugin *Pl : Plugins)
     Pl->onFinish();
 
   R.Exhausted = Exhausted;
+  if (Scc) {
+    // Merge the collapser-side counters; PropagationsSaved accumulated
+    // solver-side (it depends on delta sizes the collapser never sees).
+    const SccStats &CS = Scc->stats();
+    Stats.Scc.SccsFound = CS.SccsFound;
+    Stats.Scc.MembersCollapsed = CS.MembersCollapsed;
+    Stats.Scc.OnlineCollapses = CS.OnlineCollapses;
+    Stats.Scc.FullPasses = CS.FullPasses;
+  }
   Stats.NumPtrs = CSM.numPtrs();
   Stats.NumCSObjs = CSM.numCSObjs();
   Stats.NumContexts = CM.numContexts();

@@ -33,6 +33,7 @@
 #include "pta/PTAResult.h"
 #include "pta/Plugin.h"
 #include "pta/PointerFlowGraph.h"
+#include "pta/SccCollapser.h"
 #include "support/Hash.h"
 #include "support/PointsToSet.h"
 #include "support/Timer.h"
@@ -50,6 +51,15 @@ struct SolverOptions {
   ContextSelector *Selector = nullptr;
   /// Incremental (Tai-e-style) vs full re-propagation (Doop-style).
   bool DeltaPropagation = true;
+  /// Online cycle elimination: pointers on a cycle of unfiltered PFG
+  /// edges share one points-to set behind an SCC representative, and
+  /// propagation runs on the collapsed graph (see SccCollapser.h).
+  /// Purely an engine optimization — results, precision metrics, the
+  /// logical PtsInsertions counter, and every public query (ptsOf, pfg(),
+  /// plugin callbacks, graph dumps) are identical with it on or off.
+  /// Orthogonal to the engine mode: Doop-style full re-propagation keeps
+  /// its semantics and simply re-propagates representative sets.
+  bool CycleElimination = true;
   /// Abort after this many (pointer, object) insertions (emulates the
   /// paper's 2h timeout deterministically). ~0 = unlimited.
   uint64_t WorkBudget = ~0ULL;
@@ -88,9 +98,19 @@ public:
   }
 
   /// Current points-to set of a pointer (empty if never touched).
+  /// The representative-remapping layer: under cycle elimination the set
+  /// lives with \p Pr's SCC representative, so plugins and clients keep
+  /// querying original (un-collapsed) pointers and see exactly the sets
+  /// a collapse-free solver would compute.
   const PointsToSet &ptsOf(PtrId Pr) const {
+    Pr = repOf(Pr);
     return Pr < Pts.size() ? Pts[Pr] : EmptyPts;
   }
+
+  /// SCC representative of \p Pr (identity while cycle elimination is
+  /// off or \p Pr is not in any collapsed class). Diagnostics/tests only:
+  /// the query surface above already remaps.
+  PtrId representative(PtrId Pr) const { return repOf(Pr); }
 
   // The Fig. 7 cut/shortcut sets, populated by the Cut-Shortcut plugin.
   void addCutStore(StmtId S);
@@ -142,6 +162,27 @@ private:
   void ensurePtr(PtrId Pr);
   void buildProjection(PTAResult &R);
 
+  // Cycle elimination / worklist internals.
+  PtrId repOf(PtrId Pr) const { return Scc ? Scc->rep(Pr) : Pr; }
+  uint32_t classSizeOf(PtrId Rep) const {
+    return Scc ? Scc->classSize(Rep) : 1;
+  }
+  /// Flows \p Set along every out-edge of \p Rep's class (each member's
+  /// original PFG out-edges; targets remap through representatives).
+  void propagateAlongEdges(PtrId Rep, const PointsToSet &Set);
+  /// processPointer for every original pointer of \p Rep's class (the
+  /// un-collapsing half of the remapping layer: statement reprocessing
+  /// and plugin callbacks fire per member, in ascending pointer order).
+  void processClass(PtrId Rep, const PointsToSet &Delta);
+  /// Semantic half of a collapse: merges member points-to/pending state
+  /// into the winner, fires per-class catch-up deltas, and re-flushes
+  /// the merged out-edges. \p Reps holds current representatives (the
+  /// collapser canonicalizes/dedups them defensively).
+  void collapseClass(const std::vector<PtrId> &Reps);
+  void runFullSccPass();
+  /// Moves Next into Current, sorted by (approximate topo order, id).
+  void refillWorklist();
+
   const Program &P;
   SolverOptions Opts;
   std::unique_ptr<ContextSelector> DefaultSelector; ///< CI fallback.
@@ -153,13 +194,31 @@ private:
   PointerFlowGraph PFG;
   std::vector<SolverPlugin *> Plugins;
 
-  // Per-pointer state (indexed by PtrId). Pts is a deque so references to
+  // Per-pointer state (indexed by PtrId; under cycle elimination only
+  // representative slots are live). Pts is a deque so references to
   // individual sets stay valid while new pointers are interned mid-flight
   // (enqueueSet unions from a source set while growing the tables).
   std::deque<PointsToSet> Pts;
   std::vector<PointsToSet> Pending; ///< Facts awaiting the pointer's pop.
-  std::vector<uint8_t> InQueue;
-  std::deque<PtrId> Queue;
+  std::vector<uint8_t> InQueue;     ///< By representative.
+
+  // Two-level topology-aware worklist: Current is one sweep, sorted by
+  // (approximate topological order, id) when it was sealed; pointers
+  // dirtied during the sweep collect unsorted in Next and become the
+  // next sweep. Entries may be stale after a collapse (absorbed ids, or
+  // re-queued representatives) — the pop loop drops entries whose
+  // representative's InQueue flag is clear.
+  std::vector<PtrId> Current;
+  std::size_t Cursor = 0;
+  std::vector<PtrId> Next;
+
+  // Online cycle elimination (null when Opts.CycleElimination is off).
+  std::unique_ptr<SccCollapser> Scc;
+  /// True while collapseClass runs: nested edge insertions must not
+  /// re-enter detection (they are picked up by later probes or the
+  /// periodic full pass instead).
+  bool InCollapse = false;
+  std::vector<PtrId> CycleScratch;
 
   // Lazily built per-type bitmaps over the CSObjId space: FilterMasks[T]
   // holds every interned object whose type is a subtype of T, so filtered

@@ -1,0 +1,106 @@
+//===- UnionFind.h - Disjoint-set forest over dense ids ---------*- C++ -*-===//
+//
+// Part of the Cut-Shortcut pointer analysis reproduction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A disjoint-set forest over a dense uint32_t id space, used by the
+/// solver's online cycle elimination to map pointers to their SCC
+/// representative. Lookups use path halving (every find() shortens the
+/// chains it walks, amortized near-O(1)); unions are by rank with a
+/// deterministic tie-break (smaller id wins), so solver runs are
+/// reproducible. Representative lookups are id-stable: find(x) returns the
+/// same id until an intervening unite() merges x's class — callers may
+/// cache a representative across operations that do not merge.
+///
+/// Ids at or beyond size() are implicitly singleton classes; find() on
+/// them is the identity and needs no allocation.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CSC_SUPPORT_UNIONFIND_H
+#define CSC_SUPPORT_UNIONFIND_H
+
+#include <cstdint>
+#include <vector>
+
+namespace csc {
+
+class UnionFind {
+public:
+  /// Grows the forest so ids < \p N are materialized (each its own class).
+  void ensure(uint32_t N) {
+    if (N <= Parent.size())
+      return;
+    uint32_t Old = static_cast<uint32_t>(Parent.size());
+    Parent.resize(N);
+    Rank.resize(N, 0);
+    for (uint32_t I = Old; I != N; ++I)
+      Parent[I] = I;
+  }
+
+  uint32_t size() const { return static_cast<uint32_t>(Parent.size()); }
+
+  /// Representative of \p X's class. Path-halving: grandparent hops that
+  /// also reparent, so repeated lookups flatten the forest. Logically
+  /// const (the represented partition never changes), hence callable on
+  /// const solvers via the mutable parent table.
+  uint32_t find(uint32_t X) const {
+    if (X >= Parent.size())
+      return X;
+    while (Parent[X] != X) {
+      Parent[X] = Parent[Parent[X]];
+      X = Parent[X];
+    }
+    return X;
+  }
+
+  /// Merges the classes of \p A and \p B. Returns false if already one
+  /// class; otherwise true with \p Winner set to the surviving
+  /// representative (higher rank; smaller id on equal rank, then rank
+  /// bumps — deterministic across runs).
+  bool unite(uint32_t A, uint32_t B, uint32_t &Winner) {
+    ensure((A > B ? A : B) + 1);
+    uint32_t RA = find(A), RB = find(B);
+    if (RA == RB) {
+      Winner = RA;
+      return false;
+    }
+    if (Rank[RA] < Rank[RB]) {
+      uint32_t T = RA;
+      RA = RB;
+      RB = T;
+    } else if (Rank[RA] == Rank[RB]) {
+      if (RB < RA) {
+        uint32_t T = RA;
+        RA = RB;
+        RB = T;
+      }
+      ++Rank[RA];
+    }
+    Parent[RB] = RA;
+    ++Merges;
+    Winner = RA;
+    return true;
+  }
+
+  /// True if \p X heads its own class (cheap: no chain walk).
+  bool isRep(uint32_t X) const {
+    return X >= Parent.size() || Parent[X] == X;
+  }
+
+  /// Number of successful unite() calls (= materialized ids minus
+  /// classes among them).
+  uint64_t numMerges() const { return Merges; }
+
+private:
+  /// find() reparents while walking: logically const, physically not.
+  mutable std::vector<uint32_t> Parent;
+  std::vector<uint8_t> Rank;
+  uint64_t Merges = 0;
+};
+
+} // namespace csc
+
+#endif // CSC_SUPPORT_UNIONFIND_H

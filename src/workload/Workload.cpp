@@ -27,6 +27,8 @@ public:
     emitUtil();
     if (C.CallChainDepth > 0)
       emitChain();
+    if (C.CopyCycleLen > 0)
+      emitCycleRelays();
     if (C.NumSharedHubs > 0)
       emitHubs();
     if (C.BombDepth > 0 && C.BombWidth > 0)
@@ -221,6 +223,56 @@ private:
   }
 
   //===------------------------------------------------------------------===//
+  // Copy cycles (CopyCycleLen knob): local copy chains closed back
+  // through a shared static relay. The chain vars, the relay's parameter
+  // and return, and the closing invoke target form one PFG cycle; every
+  // action using the same relay joins the same strongly connected
+  // component, so large programs grow a few big SCCs — the shape online
+  // cycle elimination collapses.
+  //===------------------------------------------------------------------===//
+
+  static constexpr uint32_t NumCycleRelays = 4;
+
+  void emitCycleRelays() {
+    OS << "class Cyc {\n";
+    for (uint32_t K = 0; K < NumCycleRelays; ++K)
+      OS << "  static method pass_" << K << "(x: Object): Object {\n"
+         << "    return x;\n  }\n";
+    OS << "}\n";
+  }
+
+  /// y0 = new E; y1 = y0; ...; y0 = Cyc.pass_k(y_{L-1}) — a copy cycle of
+  /// length CopyCycleLen + the relay hop, with a downcast of the merged
+  /// result as precision material. When shared hubs exist, half the
+  /// cycles seed from a hub retrieval instead of a fresh allocation, so
+  /// the hubs' program-wide element sets circulate the cycles — the
+  /// redundant re-propagation that cycle elimination exists to remove.
+  void emitCycleAction(const std::string &Id) {
+    uint32_t K = R.nextInRange(NumCycleRelays);
+    uint32_t EI = R.nextInRange(touchedClasses());
+    std::string E = ent(EI);
+    if (C.NumSharedHubs > 0 && R.nextInRange(4) < 3) {
+      uint32_t H = R.nextInRange(C.NumSharedHubs);
+      OS << "    var ycs" << Id << ": ArrayList;\n"
+         << "    ycs" << Id << " = Hub::list_" << H << ";\n"
+         << "    var yc" << Id << "_0: Object;\n"
+         << "    yc" << Id << "_0 = call ycs" << Id << ".get();\n";
+    } else {
+      OS << "    var yc" << Id << "_0: Object;\n"
+         << "    yc" << Id << "_0 = new " << E << ";\n";
+    }
+    for (uint32_t D = 1; D < C.CopyCycleLen; ++D)
+      OS << "    var yc" << Id << "_" << D << ": Object;\n"
+         << "    yc" << Id << "_" << D << " = yc" << Id << "_" << (D - 1)
+         << ";\n";
+    OS << "    yc" << Id << "_0 = scall Cyc.pass_" << K << "(yc" << Id
+       << "_" << (C.CopyCycleLen - 1) << ");\n"
+       << "    var ycc" << Id << ": " << E << ";\n"
+       << "    ycc" << Id << " = (" << E << ") yc" << Id << "_"
+       << (C.CopyCycleLen - 1) << ";\n";
+  }
+
+  //===------------------------------------------------------------------===//
   // Context bomb: W allocation sites per level over D levels. 2obj pays
   // W^2 contexts per level; 2type only pays when the sites are spread
   // over distinct classes.
@@ -308,7 +360,15 @@ private:
       emitHubAction(Id);
       return;
     }
-    switch (R.nextInRange(C.CallChainDepth > 0 ? 8 : 7)) {
+    uint32_t Kinds = 7;
+    if (C.CallChainDepth > 0)
+      ++Kinds;
+    if (C.CopyCycleLen > 0)
+      ++Kinds;
+    uint32_t Pick = R.nextInRange(Kinds);
+    if (Pick == 7 && C.CallChainDepth == 0)
+      Pick = 8; // Slot 7 belongs to the chain; fall through to cycles.
+    switch (Pick) {
     case 0:
       emitEntityAction(Id, /*Wrapped=*/false);
       break;
@@ -332,6 +392,9 @@ private:
       break;
     case 7:
       emitChainAction(Id);
+      break;
+    case 8:
+      emitCycleAction(Id);
       break;
     }
   }
@@ -610,7 +673,7 @@ std::vector<WorkloadConfig> csc::scalingSuite() {
                 uint32_t Act, uint32_t Ent, uint32_t Wrap, uint32_t Fam,
                 uint32_t FamSz, uint32_t Sel, uint32_t Density,
                 uint32_t Chain, uint32_t Mix, uint32_t Hubs,
-                uint32_t HubPct) {
+                uint32_t HubPct, uint32_t CycleLen) {
     WorkloadConfig C;
     C.Name = Name;
     C.Seed = Seed;
@@ -626,16 +689,20 @@ std::vector<WorkloadConfig> csc::scalingSuite() {
     C.ContainerMixPct = Mix;
     C.NumSharedHubs = Hubs;
     C.HubMixPct = HubPct;
+    C.CopyCycleLen = CycleLen;
     Suite.push_back(C);
   };
 
-  //   name       seed scen act ent wrap fam fsz sel dens chain mix hubs hub%
-  Mk("scale-xs",   61,   2,  4,  3,  1,   2,  3,  2,   1,    2,  25,   0,  0);
-  Mk("scale-s",    62,   8,  8,  6,  2,   4,  3,  4,   2,    3,  30,   2, 10);
-  Mk("scale-m",    63,  24, 12, 10,  2,   8,  4,  6,   2,    4,  35,   3, 10);
-  Mk("scale-l",    64,  72, 16, 16,  3,  12,  4,  8,   3,    5,  40,   4, 12);
-  Mk("scale-xl",   65, 180, 20, 22,  3,  16,  5, 10,   3,    6,  40,   6, 14);
-  Mk("scale-xxl",  66, 400, 24, 30,  3,  20,  5, 12,   4,    8,  45,   8, 16);
+  // cyc: copy-cycle chain length (see WorkloadConfig::CopyCycleLen) —
+  // real programs carry copy/assign cycles, and the tiers must exercise
+  // the solver's online cycle elimination.
+  //  name       seed scen act ent wrp fam fsz sel dns chn mix hub hub% cyc
+  Mk("scale-xs",  61,   2,  4,  3,  1,  2,  3,  2,  1,  2, 25,  0,  0,  3);
+  Mk("scale-s",   62,   8,  8,  6,  2,  4,  3,  4,  2,  3, 30,  2, 10,  4);
+  Mk("scale-m",   63,  24, 12, 10,  2,  8,  4,  6,  2,  4, 35,  3, 10,  4);
+  Mk("scale-l",   64,  72, 16, 16,  3, 12,  4,  8,  3,  5, 40,  4, 12,  6);
+  Mk("scale-xl",  65, 180, 20, 22,  3, 16,  5, 10,  3,  6, 40,  6, 14, 32);
+  Mk("scale-xxl", 66, 400, 24, 30,  3, 20,  5, 12,  4,  8, 45,  8, 16, 40);
 
   return Suite;
 }

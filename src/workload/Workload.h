@@ -73,6 +73,13 @@ struct WorkloadConfig {
   /// Percentage of actions that store/retrieve through a shared hub
   /// (applies only when NumSharedHubs > 0; drawn after the container mix).
   uint32_t HubMixPct = 12;
+  /// Copy-cycle knob: cycle actions build a chain of CopyCycleLen local
+  /// copies and close it back through a shared static relay
+  /// (Cyc.pass_k), so the PFG gains genuine copy/assign/param/return
+  /// cycles — every action routed through the same relay joins one
+  /// strongly connected component. This is the workload that stresses
+  /// the solver's online cycle elimination; 0 disables cycle actions.
+  uint32_t CopyCycleLen = 0;
 
   // Context bomb: Width allocation sites per level over Depth levels.
   uint32_t BombDepth = 0;

@@ -75,10 +75,11 @@ TEST(SpecErrorTest, UnknownAnalysisListsKnownNames) {
 
 TEST(SpecErrorTest, UnknownParameterListsKnownKeys) {
   EXPECT_EQ(buildError("ci;q=1"),
-            "analysis 'ci' does not accept parameter 'q' (known: engine)");
+            "analysis 'ci' does not accept parameter 'q' "
+            "(known: engine scc)");
   EXPECT_EQ(buildError("csc;k=2"),
             "analysis 'csc' does not accept parameter 'k' "
-            "(known: engine field load container local)");
+            "(known: engine scc field load container local)");
 }
 
 TEST(SpecErrorTest, MalformedParameterValues) {
@@ -90,6 +91,8 @@ TEST(SpecErrorTest, MalformedParameterValues) {
             "parameter 'pv' expects a number, got 'x'");
   EXPECT_EQ(buildError("csc;container=maybe"),
             "parameter 'container' expects a boolean (0/1), got 'maybe'");
+  EXPECT_EQ(buildError("ci;scc=maybe"),
+            "parameter 'scc' expects a boolean (0/1), got 'maybe'");
   EXPECT_EQ(buildError("ci;engine=dopo"),
             "unknown engine 'dopo' (expected doop or taie)");
 }

@@ -50,6 +50,45 @@ TEST(WorkloadTest, AllPaperProfilesBuild) {
   }
 }
 
+TEST(WorkloadTest, CopyCycleKnobInjectsCollapsibleCycles) {
+  WorkloadConfig C;
+  C.Seed = 17;
+  C.NumScenarios = 6;
+  C.ActionsPerScenario = 10;
+  C.CopyCycleLen = 5;
+  std::string Src = generateWorkload(C);
+  EXPECT_NE(Src.find("Cyc"), std::string::npos);
+  EXPECT_NE(Src.find("pass_0"), std::string::npos);
+
+  std::vector<std::string> Diags;
+  auto P = buildWorkloadProgram(C, Diags);
+  for (const std::string &D : Diags)
+    ADD_FAILURE() << D;
+  ASSERT_NE(P, nullptr);
+  EXPECT_TRUE(verifyProgram(*P).empty());
+
+  // The injected copy cycles must actually exercise the solver's cycle
+  // elimination, and collapsing must not change the result.
+  Solver SOn(*P, {});
+  PTAResult ROn = SOn.solve();
+  ASSERT_FALSE(ROn.Exhausted);
+  EXPECT_GT(ROn.Stats.Scc.SccsFound, 0u);
+  EXPECT_GT(ROn.Stats.Scc.MembersCollapsed, 0u);
+
+  SolverOptions Off;
+  Off.CycleElimination = false;
+  Solver SOff(*P, Off);
+  PTAResult ROff = SOff.solve();
+  EXPECT_EQ(ROn.Stats.PtsInsertions, ROff.Stats.PtsInsertions);
+  for (VarId V = 0; V < P->numVars(); ++V)
+    ASSERT_EQ(ROn.pt(V).toVector(), ROff.pt(V).toVector());
+}
+
+TEST(WorkloadTest, ScalingTiersCarryCycleMaterial) {
+  for (const WorkloadConfig &C : scalingSuite())
+    EXPECT_GT(C.CopyCycleLen, 0u) << C.Name;
+}
+
 TEST(WorkloadTest, ProgramsAreAnalyzable) {
   WorkloadConfig C;
   C.Seed = 5;

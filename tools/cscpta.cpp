@@ -21,6 +21,7 @@
 //     --batch <manifest>   run a {program, specs[]} manifest (see
 //                          docs/CLI.md for the schema)
 //     --repeat <n>         run the batch n times in-process (cache demo)
+//     --stats              per-run solver/SCC statistics on stderr
 //     --no-stdlib          do not prepend the modelled standard library
 //     --verbose            phase progress on stderr
 //     --list               list registered analyses and exit
@@ -58,6 +59,7 @@ int usage(const char *Prog) {
       "  --jobs <n>         run analyses on up to n pool threads\n"
       "  --batch <manifest> run a {program, specs[]} manifest\n"
       "  --repeat <n>       run the batch n times in-process\n"
+      "  --stats            per-run solver/SCC statistics on stderr\n"
       "  --no-stdlib        do not prepend the modelled standard library\n"
       "  --verbose          phase progress on stderr\n"
       "  --list             list registered analyses and exit\n",
@@ -76,6 +78,7 @@ struct CliOptions {
   unsigned Jobs = 1;
   unsigned Repeat = 1;
   bool Json = false;
+  bool Stats = false;
   bool NoStdlib = false;
   bool Verbose = false;
   bool List = false;
@@ -232,6 +235,29 @@ int runBatch(const CliOptions &Cli) {
   return Report.exitCode();
 }
 
+/// `--stats`: one stderr line per completed run with the scheduling
+/// diagnostics deliberately kept out of the JSON report (worklist pops,
+/// cycle-elimination counters). stderr so `--json` stdout stays pure.
+void printRunStats(const AnalysisRun &Run) {
+  if (!Run.completed())
+    return;
+  const SolverStats &S = Run.Result.Stats;
+  const SccStats &C = S.Scc;
+  std::fprintf(
+      stderr,
+      "[cscpta] stats %s: pops %llu, pts-insertions %llu, pfg-edges %llu"
+      " | scc: %llu collapsed (%llu members; %llu online, %llu full "
+      "passes), ~%llu propagations saved\n",
+      Run.Name.c_str(), static_cast<unsigned long long>(S.WorklistPops),
+      static_cast<unsigned long long>(S.PtsInsertions),
+      static_cast<unsigned long long>(S.PFGEdges),
+      static_cast<unsigned long long>(C.SccsFound),
+      static_cast<unsigned long long>(C.MembersCollapsed),
+      static_cast<unsigned long long>(C.OnlineCollapses),
+      static_cast<unsigned long long>(C.FullPasses),
+      static_cast<unsigned long long>(C.PropagationsSaved));
+}
+
 void printPointsTo(const ResultView &View, const std::string &Query) {
   VarId V = View.findVar(Query);
   if (V == InvalidId) {
@@ -304,6 +330,8 @@ int main(int Argc, char **Argv) {
         return usage(Argv[0]);
     } else if (Arg == "--json") {
       Cli.Json = true;
+    } else if (Arg == "--stats") {
+      Cli.Stats = true;
     } else if (Arg == "--no-stdlib") {
       Cli.NoStdlib = true;
     } else if (Arg == "--verbose") {
@@ -339,6 +367,13 @@ int main(int Argc, char **Argv) {
     if (!Cli.PointsToQueries.empty()) {
       std::fprintf(stderr,
                    "error: --points-to is not available with --batch\n");
+      return usage(Argv[0]);
+    }
+    if (Cli.Stats) {
+      std::fprintf(stderr,
+                   "error: --stats is not available with --batch "
+                   "(batch results are serialized without scheduling "
+                   "diagnostics)\n");
       return usage(Argv[0]);
     }
     if (Cli.AnalysesSet) {
@@ -387,6 +422,8 @@ int main(int Argc, char **Argv) {
       std::fprintf(stderr, "error: %s\n", Run.Error.c_str());
     }
     AnyExhausted = AnyExhausted || Run.exhausted();
+    if (Cli.Stats)
+      printRunStats(Run);
   }
 
   if (Cli.Json) {
