@@ -2,6 +2,7 @@
 """Compare two BenchJson documents and flag wall-time regressions.
 
 Usage: bench_compare.py BASELINE.json CURRENT.json [--threshold 0.25]
+           [--margin PATTERN=FRACTION ...]
 
 Both inputs are documents written by the bench harnesses' --json flag
 (see docs/BENCHMARKS.md for the schema). Runs are keyed by
@@ -11,10 +12,21 @@ that appear in only one document (tier or spec changes) are reported but
 never fail the comparison; a run that flipped from completed to
 budget-exhausted always fails.
 
+--margin overrides the global threshold for runs whose "program/analysis"
+label matches a glob PATTERN (fnmatch syntax). Repeatable; the first
+matching pattern in command-line order wins. Small tiers need wide
+margins (sub-millisecond runs are all scheduler noise) while the large
+tiers are stable, e.g.:
+
+    bench_compare.py base.json cur.json --threshold 0.25 \\
+        --margin 'scale-xs/*=1.00' --margin 'scale-s/*=0.60' \\
+        --margin '*par=*=0.40'
+
 Exit codes: 0 no regression, 1 regression(s), 2 usage/input error.
 """
 
 import argparse
+import fnmatch
 import json
 import sys
 
@@ -39,6 +51,33 @@ def load_runs(path):
     return doc.get("bench", "?"), runs
 
 
+def parse_margins(specs):
+    """'PATTERN=FRACTION' strings -> [(pattern, fraction)] in given order."""
+    margins = []
+    for spec in specs:
+        pattern, eq, value = spec.rpartition("=")
+        try:
+            if not eq or not pattern:
+                raise ValueError
+            fraction = float(value)
+            if fraction < 0:
+                raise ValueError
+        except ValueError:
+            print(f"error: bad --margin '{spec}' "
+                  f"(expected PATTERN=FRACTION, fraction >= 0)",
+                  file=sys.stderr)
+            sys.exit(2)
+        margins.append((pattern, fraction))
+    return margins
+
+
+def margin_for(label, margins, default):
+    for pattern, fraction in margins:
+        if fnmatch.fnmatchcase(label, pattern):
+            return fraction
+    return default
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("baseline")
@@ -46,7 +85,13 @@ def main():
     ap.add_argument("--threshold", type=float, default=0.25,
                     help="fractional wall-time growth that counts as a "
                          "regression (default 0.25 = +25%%)")
+    ap.add_argument("--margin", action="append", default=[],
+                    metavar="PATTERN=FRACTION",
+                    help="per-run threshold override: glob PATTERN matched "
+                         "against 'program/analysis', first match wins "
+                         "(repeatable)")
     args = ap.parse_args()
+    margins = parse_margins(args.margin)
 
     base_name, base = load_runs(args.baseline)
     cur_name, cur = load_runs(args.current)
@@ -71,12 +116,13 @@ def main():
         if not b["total_ms"]:
             skipped.append(f"{label}: baseline has no timing")
             continue
+        threshold = margin_for(label, margins, args.threshold)
         ratio = c["total_ms"] / b["total_ms"]
         line = (f"{label}: {b['total_ms']:.1f} ms -> {c['total_ms']:.1f} ms "
-                f"({ratio:.2f}x)")
-        if ratio > 1.0 + args.threshold:
+                f"({ratio:.2f}x, margin +{threshold:.0%})")
+        if ratio > 1.0 + threshold:
             regressions.append(line)
-        elif ratio < 1.0 - args.threshold:
+        elif ratio < 1.0 - threshold:
             improvements.append(line)
 
     for line in skipped:

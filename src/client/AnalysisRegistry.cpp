@@ -267,16 +267,18 @@ AnalysisRegistry::Factory kindFactory(AnalysisKind Kind) {
     ZipperOptions Z;
     CutShortcutOptions C;
     bool SccOn = true; // `scc`: solver cycle elimination, every analysis.
+    unsigned Par = 1;  // `par`: parallel sweep lanes, every analysis.
     switch (Kind) {
     case AnalysisKind::CI: {
-      static const char *Known[] = {"engine", "scc", nullptr};
+      static const char *Known[] = {"engine", "scc", "par", nullptr};
       if (!Spec.checkKnownParams(Known, Error))
         return false;
       break;
     }
     case AnalysisKind::CSC: {
-      static const char *Known[] = {"engine", "scc", "field", "load",
-                                    "container", "local", nullptr};
+      static const char *Known[] = {"engine", "scc", "par", "field",
+                                    "load",   "container", "local",
+                                    nullptr};
       if (!Spec.checkKnownParams(Known, Error) ||
           !Spec.paramBool("field", C.FieldStore, Error) ||
           !Spec.paramBool("load", C.FieldLoad, Error) ||
@@ -286,8 +288,8 @@ AnalysisRegistry::Factory kindFactory(AnalysisKind Kind) {
       break;
     }
     case AnalysisKind::ZipperE: {
-      static const char *Known[] = {"engine", "scc", "k", "pv", "cf",
-                                    "floor", nullptr};
+      static const char *Known[] = {"engine", "scc", "par", "k",
+                                    "pv",     "cf",  "floor", nullptr};
       double Floor = -1;
       if (!Spec.checkKnownParams(Known, Error) ||
           !Spec.paramUnsigned("k", K, Error) ||
@@ -302,7 +304,7 @@ AnalysisRegistry::Factory kindFactory(AnalysisKind Kind) {
     case AnalysisKind::TwoObj:
     case AnalysisKind::TwoType:
     case AnalysisKind::TwoCallSite: {
-      static const char *Known[] = {"engine", "scc", "k", nullptr};
+      static const char *Known[] = {"engine", "scc", "par", "k", nullptr};
       if (!Spec.checkKnownParams(Known, Error) ||
           !Spec.paramUnsigned("k", K, Error))
         return false;
@@ -311,9 +313,19 @@ AnalysisRegistry::Factory kindFactory(AnalysisKind Kind) {
     }
     if (!Spec.paramBool("scc", SccOn, Error))
       return false;
+    if (!Spec.paramUnsigned("par", Par, Error))
+      return false;
+    if (Par > 64) {
+      // Oversubscription beyond this is never useful and a typo like
+      // par=1000 should fail loudly rather than spawn a thread herd.
+      Error = "parameter 'par' expects at most 64 lanes, got '" +
+              *Spec.param("par") + "'";
+      return false;
+    }
     Out = makeKindRecipe(Kind, K, /*DoopMode=*/false, Z, C);
     Out.Name = Spec.Text;
     Out.CycleElimination = SccOn;
+    Out.ParallelSweeps = Par;
     return applyEngineParam(Spec, Out, Error);
   };
 }

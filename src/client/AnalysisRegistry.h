@@ -93,6 +93,10 @@ struct AnalysisRecipe {
   /// Online cycle elimination in the solver (spec parameter `scc`,
   /// default on). Engine-level only: results are identical either way.
   bool CycleElimination = true;
+  /// Parallel sweep lanes in the solver (spec parameter `par`, default
+  /// 1 = serial). Engine-level only: results and timing-free reports are
+  /// byte-identical for every value (SolverOptions::ParallelSweeps).
+  unsigned ParallelSweeps = 1;
   bool UseCsc = false;   ///< Attach a CutShortcutPlugin.
   CutShortcutOptions Csc;
   bool UseZipper = false; ///< Run (or reuse) the Zipper-e pre-analysis.

@@ -50,6 +50,13 @@ void ThreadPool::submit(std::function<void()> Task) {
 }
 
 std::function<void()> ThreadPool::takeTask(unsigned Me) {
+  // Queued is decremented at claim time, under the deque lock the task
+  // is popped from. Decrementing later (after takeTask returned) left a
+  // window where sleeping workers saw a stale Queued > 0, woke, found
+  // every deque empty, and spun back to sleep — a busy-wake storm under
+  // repeated submit/wait cycles (the parallel sweep's barrier pattern)
+  // that the ThreadPoolTest stress cases surfaced.
+  //
   // Own deque first, newest task (LIFO keeps the working set warm) ...
   {
     Worker &W = *Workers[Me];
@@ -57,6 +64,7 @@ std::function<void()> ThreadPool::takeTask(unsigned Me) {
     if (!W.Tasks.empty()) {
       std::function<void()> T = std::move(W.Tasks.back());
       W.Tasks.pop_back();
+      Queued.fetch_sub(1);
       return T;
     }
   }
@@ -68,6 +76,7 @@ std::function<void()> ThreadPool::takeTask(unsigned Me) {
     if (!W.Tasks.empty()) {
       std::function<void()> T = std::move(W.Tasks.front());
       W.Tasks.pop_front();
+      Queued.fetch_sub(1);
       return T;
     }
   }
@@ -78,7 +87,6 @@ void ThreadPool::workerLoop(unsigned Me) {
   while (true) {
     std::function<void()> Task = takeTask(Me);
     if (Task) {
-      Queued.fetch_sub(1);
       Task();
       if (Outstanding.fetch_sub(1) == 1) {
         std::lock_guard<std::mutex> G(WakeM);

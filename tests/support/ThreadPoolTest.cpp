@@ -98,3 +98,73 @@ TEST(ThreadPoolTest, WorkSpreadsOverMultipleThreads) {
 TEST(ThreadPoolTest, DefaultThreadCountIsPositive) {
   EXPECT_GE(ThreadPool::defaultThreadCount(), 1u);
 }
+
+TEST(ThreadPoolStressTest, RepeatedWaitResubmitCycles) {
+  // The parallel sweep engine's exact usage pattern: many short
+  // submit-all / wait barriers against one long-lived pool. A lost
+  // wakeup, a stale Queued count, or any reuse bug in the wait protocol
+  // turns one of these iterations into a hang or a missed task.
+  ThreadPool Pool(4);
+  std::atomic<int> Count{0};
+  for (int Cycle = 0; Cycle != 500; ++Cycle) {
+    const int Batch = 1 + (Cycle % 32);
+    for (int I = 0; I != Batch; ++I)
+      Pool.submit([&Count] { Count.fetch_add(1); });
+    Pool.wait();
+    ASSERT_EQ(Count.exchange(0), Batch) << "cycle " << Cycle;
+  }
+}
+
+TEST(ThreadPoolStressTest, TasksSpawningTasksAcrossWaitCycles) {
+  // Nested spawning combined with barrier reuse: each root task fans out
+  // children, children fan out grandchildren, and wait() must cover the
+  // whole transitively submitted tree, every cycle.
+  ThreadPool Pool(3);
+  std::atomic<int> Count{0};
+  for (int Cycle = 0; Cycle != 100; ++Cycle) {
+    for (int I = 0; I != 8; ++I)
+      Pool.submit([&Pool, &Count] {
+        Count.fetch_add(1);
+        for (int C = 0; C != 3; ++C)
+          Pool.submit([&Pool, &Count] {
+            Count.fetch_add(1);
+            Pool.submit([&Count] { Count.fetch_add(1); });
+          });
+      });
+    Pool.wait();
+    ASSERT_EQ(Count.exchange(0), 8 + 8 * 3 + 8 * 3) << "cycle " << Cycle;
+  }
+}
+
+TEST(ThreadPoolStressTest, SingleThreadNestedSpawnChain) {
+  // One worker, a deep chain of tasks each spawning the next: exercises
+  // self-submission with no second thread to steal, where any accounting
+  // slip between Queued and Outstanding deadlocks wait() immediately.
+  ThreadPool Pool(1);
+  std::atomic<int> Depth{0};
+  std::function<void()> Step = [&Pool, &Depth, &Step] {
+    if (Depth.fetch_add(1) < 199)
+      Pool.submit(Step);
+  };
+  Pool.submit(Step);
+  Pool.wait();
+  EXPECT_EQ(Depth.load(), 200);
+}
+
+TEST(ThreadPoolStressTest, ConcurrentExternalWaiters) {
+  // wait() is documented thread-safe from outside the pool: two external
+  // threads block on the same barrier while the main thread submits.
+  ThreadPool Pool(2);
+  std::atomic<int> Count{0};
+  for (int I = 0; I != 64; ++I)
+    Pool.submit([&Count] {
+      std::this_thread::sleep_for(std::chrono::microseconds(50));
+      Count.fetch_add(1);
+    });
+  std::thread W1([&Pool] { Pool.wait(); });
+  std::thread W2([&Pool] { Pool.wait(); });
+  Pool.wait();
+  W1.join();
+  W2.join();
+  EXPECT_EQ(Count.load(), 64);
+}
