@@ -1,0 +1,159 @@
+//===- demand_queries.cpp - Cold demand query vs whole-program solve ------===//
+//
+// Part of the Cut-Shortcut pointer analysis reproduction.
+//
+// The analysis server's demand path promises that a cold points-to query
+// costs a backward-slice fixpoint, not a whole-program one. This bench
+// measures that on the scalingSuite() workload tiers: for each (tier,
+// spec) it runs the whole-program solve and a cold demand solve for a
+// handful of entry-method roots, and prints solver work (PtsInsertions)
+// and slice size side by side.
+//
+// This is also the acceptance gate for the demand path: the bench exits
+// with status 3 if on any tier the demand solve fails to complete, the
+// slice is not a proper subset of the program, or — where the full solve
+// completed — the demand solve did not do strictly less work. On the
+// large tiers the whole-program solve may exhaust the emulated budget
+// while the demand query still answers: that asymmetry is the point.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+#include "client/AnalysisRegistry.h"
+#include "server/DemandSlicer.h"
+#include "server/IncrementalSolver.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+using namespace csc;
+using namespace csc::bench;
+
+namespace {
+
+void usage(const char *Prog) {
+  std::fprintf(stderr, "usage: %s [--json <path>] [--tiers <n>]\n", Prog);
+  std::exit(2);
+}
+
+/// Query roots: the last few locals of the entry method — the most
+/// downstream values, i.e. the expensive end of the backward slice.
+std::vector<VarId> entryRoots(const Program &P, size_t Count) {
+  const std::vector<VarId> &Vars = P.method(P.entry()).Vars;
+  size_t N = Vars.size() < Count ? Vars.size() : Count;
+  return std::vector<VarId>(Vars.end() - static_cast<long>(N), Vars.end());
+}
+
+AnalysisRecipe recipeFor(const std::string &Spec) {
+  AnalysisRecipe R;
+  std::string Error;
+  if (!AnalysisRegistry::global().build(Spec, R, Error)) {
+    std::fprintf(stderr, "bench spec error: %s\n", Error.c_str());
+    std::exit(1);
+  }
+  return R;
+}
+
+std::string fmtResult(const PTAResult &R) {
+  if (R.Exhausted)
+    return ">budget";
+  char Buf[32];
+  std::snprintf(Buf, sizeof(Buf), "%llu",
+                static_cast<unsigned long long>(R.Stats.PtsInsertions));
+  return Buf;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  std::string JsonPath;
+  size_t MaxTiers = ~static_cast<size_t>(0);
+  for (int I = 1; I < Argc; ++I) {
+    std::string Arg = Argv[I];
+    if (Arg == "--json" && I + 1 < Argc)
+      JsonPath = Argv[++I];
+    else if (Arg.rfind("--json=", 0) == 0)
+      JsonPath = Arg.substr(7);
+    else if (Arg == "--tiers" && I + 1 < Argc)
+      MaxTiers = static_cast<size_t>(std::atoi(Argv[++I]));
+    else if (Arg.rfind("--tiers=", 0) == 0)
+      MaxTiers = static_cast<size_t>(std::atoi(Arg.c_str() + 8));
+    else
+      usage(Argv[0]);
+  }
+
+  BenchJson J("demand_queries", JsonPath);
+  std::printf("Cold demand queries vs whole-program solve "
+              "(PtsInsertions; budget %.0f ms per solve)\n",
+              budgetMs());
+  std::printf("%-10s %8s %6s  %12s %12s %12s %6s\n", "tier", "stmts",
+              "spec", "full-work", "demand-work", "slice-stmts", "ok");
+
+  bool GateFailed = false;
+  size_t Tier = 0;
+  for (const WorkloadConfig &C : scalingSuite()) {
+    if (Tier >= MaxTiers)
+      break;
+    std::vector<std::string> Diags;
+    auto P = buildWorkloadProgram(C, Diags);
+    if (!P) {
+      for (const std::string &D : Diags)
+        std::fprintf(stderr, "%s\n", D.c_str());
+      return 1;
+    }
+    uint32_t Stmts = P->numStmts();
+    std::vector<VarId> Roots = entryRoots(*P, 3);
+    DemandSlicer Slicer(*P);
+    DemandSlicer::Slice Slice = Slicer.sliceFor(Roots);
+
+    for (const char *Spec : {"ci", "2obj"}) {
+      AnalysisRecipe R = recipeFor(Spec);
+      IncrementalSolver::Options Opts;
+      Opts.TimeBudgetMs = budgetMs();
+      IncrementalSolver Full(*P, R, Opts);
+      const PTAResult &FullR = Full.ensureCurrent();
+      IncrementalSolver Demand(*P, R, Opts);
+      PTAResult DemandR = Demand.demandSolve(Slice.Enabled);
+
+      bool Ok = !DemandR.Exhausted && Slice.EnabledStmts < Stmts;
+      if (!FullR.Exhausted &&
+          DemandR.Stats.PtsInsertions >= FullR.Stats.PtsInsertions)
+        Ok = false;
+      if (!Ok)
+        GateFailed = true;
+
+      char SliceBuf[32];
+      std::snprintf(SliceBuf, sizeof(SliceBuf), "%u/%u",
+                    Slice.EnabledStmts, Stmts);
+      std::printf("%-10s %8u %6s  %12s %12s %12s %6s\n", C.Name.c_str(),
+                  Stmts, Spec, fmtResult(FullR).c_str(),
+                  fmtResult(DemandR).c_str(), SliceBuf,
+                  Ok ? "yes" : "NO");
+      J.custom(C.Name, std::string("demand:") + Spec,
+               {{"total_stmts", static_cast<double>(Stmts)},
+                {"enabled_stmts", static_cast<double>(Slice.EnabledStmts)},
+                {"relevant_vars", static_cast<double>(Slice.RelevantVars)},
+                {"full_completed", FullR.Exhausted ? 0.0 : 1.0},
+                {"full_insertions",
+                 static_cast<double>(FullR.Stats.PtsInsertions)},
+                {"demand_completed", DemandR.Exhausted ? 0.0 : 1.0},
+                {"demand_insertions",
+                 static_cast<double>(DemandR.Stats.PtsInsertions)},
+                {"full_ms", FullR.TimeMs},
+                {"demand_ms", DemandR.TimeMs}});
+    }
+    ++Tier;
+  }
+
+  if (!J.write())
+    return 1;
+  if (GateFailed) {
+    std::fprintf(stderr, "error: demand query was not slice-bounded on "
+                         "some tier (see rows marked NO)\n");
+    return 3;
+  }
+  return 0;
+}

@@ -1,9 +1,13 @@
 #!/usr/bin/env bash
 # Documentation guard, run by the CI docs job (and locally):
 #   1. every relative markdown link in README.md / docs/*.md must resolve
-#      to an existing file, and
+#      to an existing file,
 #   2. every analysis name registered in the code (the AnalysisNames
 #      table plus extra AnalysisRegistry registrations) must be
+#      documented in docs/CLI.md,
+#   3. every --flag the cscpta driver accepts must be documented in
+#      docs/CLI.md, and
+#   4. every request op the analysis server dispatches on must be
 #      documented in docs/CLI.md.
 # Usage: scripts/check_docs.sh
 set -euo pipefail
@@ -58,9 +62,50 @@ for name in $names; do
   fi
 done
 
+# --- 3. Every cscpta flag appears in docs/CLI.md ----------------------------
+# Flags are matched in the driver either via matchesOpt(Argv[I], "--x")
+# (value-taking) or via Arg == "--x" (boolean).
+flags="$(
+  { grep -oE 'matchesOpt\(Argv\[I\], "--[a-z-]+"' tools/cscpta.cpp \
+      | grep -oE '"--[a-z-]+"' | tr -d '"'; } || true
+  { grep -oE 'Arg == "--[a-z-]+"' tools/cscpta.cpp \
+      | grep -oE '"--[a-z-]+"' | tr -d '"'; } || true
+)"
+if [ -z "$flags" ]; then
+  echo "error: could not extract any flags from tools/cscpta.cpp" \
+       "(did the option-matching syntax change?)"
+  fail=1
+fi
+for flag in $flags; do
+  if ! grep -qE -- "\`$flag" docs/CLI.md; then
+    echo "error: cscpta flag '$flag' is not documented in docs/CLI.md" \
+         "(add it as \`$flag\`)"
+    fail=1
+  fi
+done
+
+# --- 4. Every server request op appears in docs/CLI.md ----------------------
+ops="$(
+  { grep -oE '\*Op == "[a-z-]+"' src/server/AnalysisServer.cpp \
+      | grep -oE '"[a-z-]+"' | tr -d '"'; } || true
+)"
+if [ -z "$ops" ]; then
+  echo "error: could not extract any request ops from" \
+       "src/server/AnalysisServer.cpp (did the dispatch syntax change?)"
+  fail=1
+fi
+for op in $ops; do
+  if ! grep -qE "\`$op\`" docs/CLI.md; then
+    echo "error: server request op '$op' is not documented in" \
+         "docs/CLI.md (add it as \`$op\`)"
+    fail=1
+  fi
+done
+
 if [ "$fail" -ne 0 ]; then
   echo "docs check FAILED"
   exit 1
 fi
 echo "docs check OK ($(echo "$names" | wc -l) analysis names," \
-     "links in README.md + docs/*.md)"
+     "$(echo "$flags" | sort -u | wc -l) driver flags," \
+     "$(echo "$ops" | wc -l) server ops, links in README.md + docs/*.md)"

@@ -39,21 +39,56 @@ uint64_t csc::programFingerprint(const Program &P) {
 // ResultCache
 //===----------------------------------------------------------------------===//
 
+uint64_t ResultCache::entryBytes(const std::string &Key, const Value &V) {
+  // Estimated resident cost: the strings dominate; the constant stands in
+  // for list/map node and bookkeeping overhead.
+  return Key.size() + V.RunJson.size() + V.Error.size() + 64;
+}
+
+void ResultCache::evictOverBudgetLocked() {
+  if (Budget == 0)
+    return;
+  while (Bytes > Budget && !Lru.empty()) {
+    const auto &[Key, V] = Lru.back();
+    Bytes -= entryBytes(Key, V);
+    Index.erase(Key);
+    Lru.pop_back();
+    ++Evictions;
+  }
+}
+
+void ResultCache::setByteBudget(uint64_t BytesIn) {
+  std::lock_guard<std::mutex> G(M);
+  Budget = BytesIn;
+  evictOverBudgetLocked();
+}
+
+uint64_t ResultCache::byteBudget() const {
+  std::lock_guard<std::mutex> G(M);
+  return Budget;
+}
+
 bool ResultCache::lookup(const std::string &Key, Value &Out) {
   std::lock_guard<std::mutex> G(M);
-  auto It = Map.find(Key);
-  if (It == Map.end()) {
+  auto It = Index.find(Key);
+  if (It == Index.end()) {
     ++Misses;
     return false;
   }
   ++Hits;
-  Out = It->second;
+  Lru.splice(Lru.begin(), Lru, It->second); // refresh recency
+  Out = It->second->second;
   return true;
 }
 
 void ResultCache::store(const std::string &Key, Value V) {
   std::lock_guard<std::mutex> G(M);
-  Map.emplace(Key, std::move(V)); // first writer wins on a race
+  if (Index.count(Key))
+    return; // first writer wins on a race
+  Bytes += entryBytes(Key, V);
+  Lru.emplace_front(Key, std::move(V));
+  Index.emplace(Key, Lru.begin());
+  evictOverBudgetLocked();
 }
 
 uint64_t ResultCache::hits() const {
@@ -66,15 +101,27 @@ uint64_t ResultCache::misses() const {
   return Misses;
 }
 
+uint64_t ResultCache::evictions() const {
+  std::lock_guard<std::mutex> G(M);
+  return Evictions;
+}
+
+uint64_t ResultCache::bytesUsed() const {
+  std::lock_guard<std::mutex> G(M);
+  return Bytes;
+}
+
 size_t ResultCache::size() const {
   std::lock_guard<std::mutex> G(M);
-  return Map.size();
+  return Lru.size();
 }
 
 void ResultCache::clear() {
   std::lock_guard<std::mutex> G(M);
-  Map.clear();
-  Hits = Misses = 0;
+  Lru.clear();
+  Index.clear();
+  Bytes = 0;
+  Hits = Misses = Evictions = 0;
 }
 
 //===----------------------------------------------------------------------===//

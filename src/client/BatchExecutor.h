@@ -37,6 +37,7 @@
 #include "client/AnalysisSession.h"
 
 #include <deque>
+#include <list>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -55,6 +56,12 @@ uint64_t programFingerprint(const Program &P);
 /// carry everything a report needs (status, metrics, extras, and the
 /// deterministic run JSON) — never the PTAResult itself, so a cached
 /// batch stays cheap in memory.
+///
+/// Residency is bounded by an optional byte budget (setByteBudget):
+/// entries are kept in least-recently-used order (lookups refresh
+/// recency) and evicted oldest-first once the estimated resident size
+/// exceeds the budget. The default budget of 0 means unlimited — exactly
+/// the pre-budget behavior.
 class ResultCache {
 public:
   struct Value {
@@ -65,7 +72,16 @@ public:
                          ///< carries the cut/shortcut & Zipper extras.
   };
 
-  /// True (and fills \p Out) when \p Key is cached; counts a hit/miss.
+  /// Caps the estimated resident bytes (keys + serialized values + fixed
+  /// per-entry overhead); 0 = unlimited. Lowering the budget below the
+  /// current usage evicts immediately. An entry larger than the whole
+  /// budget is evicted as soon as it is stored — the cache never holds
+  /// more than the budget, at the price of such entries never hitting.
+  void setByteBudget(uint64_t Bytes);
+  uint64_t byteBudget() const;
+
+  /// True (and fills \p Out) when \p Key is cached; counts a hit/miss
+  /// and refreshes the entry's recency.
   bool lookup(const std::string &Key, Value &Out);
   /// Stores \p V under \p Key (first writer wins on a race; identical
   /// values by construction, since the key fingerprints the inputs).
@@ -73,14 +89,25 @@ public:
 
   uint64_t hits() const;
   uint64_t misses() const;
+  uint64_t evictions() const;
+  uint64_t bytesUsed() const;
   size_t size() const;
   void clear();
 
 private:
+  using LruList = std::list<std::pair<std::string, Value>>;
+
+  static uint64_t entryBytes(const std::string &Key, const Value &V);
+  void evictOverBudgetLocked();
+
   mutable std::mutex M;
-  std::unordered_map<std::string, Value> Map;
+  LruList Lru; ///< Front = most recently used.
+  std::unordered_map<std::string, LruList::iterator> Index;
+  uint64_t Budget = 0; ///< 0 = unlimited.
+  uint64_t Bytes = 0;  ///< Estimated resident size of Lru.
   uint64_t Hits = 0;
   uint64_t Misses = 0;
+  uint64_t Evictions = 0;
 };
 
 /// One unit of batch work: a program (given as files, inline source, or a
@@ -157,10 +184,14 @@ public:
     bool WithStdlib = true; ///< Prepend the modelled stdlib when loading.
     uint64_t WorkBudget = ~0ULL; ///< Per-run insertion budget.
     double TimeBudgetMs = 0;     ///< Per-run wall budget (0 = unlimited).
+    /// Result-cache byte budget (ResultCache::setByteBudget); 0 = unlimited.
+    uint64_t CacheBudgetBytes = 0;
   };
 
   BatchExecutor() = default;
-  explicit BatchExecutor(Options O) : Opts(std::move(O)) {}
+  explicit BatchExecutor(Options O) : Opts(std::move(O)) {
+    Cache.setByteBudget(Opts.CacheBudgetBytes);
+  }
 
   /// Runs every (entry, spec) pair, loading each distinct program once
   /// and consulting the result cache per pair. Sessions and cache persist

@@ -78,11 +78,28 @@ bool Parser::parseSource(const std::string &Source,
       parseClassDecl();
       continue;
     }
+    if (atIdent("extend")) {
+      parseExtendDecl();
+      continue;
+    }
     error("expected class or interface declaration, found '" + cur().Text +
           "'");
     advance();
   }
   return Diags.size() == DiagsAtSourceStart;
+}
+
+void Parser::skipBracedBlock() {
+  while (!at(TokKind::Eof) && !at(TokKind::LBrace))
+    advance();
+  int Depth = 0;
+  do {
+    if (at(TokKind::LBrace))
+      ++Depth;
+    if (at(TokKind::RBrace))
+      --Depth;
+    advance();
+  } while (!at(TokKind::Eof) && Depth > 0);
 }
 
 void Parser::parseClassDecl() {
@@ -185,6 +202,101 @@ void Parser::parseClassBody(TypeId T) {
           "'");
     syncToStmtEnd();
   }
+  expect(TokKind::RBrace, "'}'");
+}
+
+void Parser::parseExtendDecl() {
+  advance(); // 'extend'
+  if (!acceptIdent("class")) {
+    error("expected 'class' after 'extend'");
+    advance();
+    return;
+  }
+  std::string Name = expectIdent("class name");
+  if (Name.empty())
+    return;
+  TypeId T = P.typeByName(Name);
+  if (T == InvalidId || !P.type(T).Defined) {
+    error("cannot extend undefined class '" + Name + "'");
+    skipBracedBlock();
+    return;
+  }
+  if (P.type(T).Kind != TypeKind::Class) {
+    error("'extend class' target '" + Name + "' is not a class");
+    skipBracedBlock();
+    return;
+  }
+  if (!expect(TokKind::LBrace, "'{'"))
+    return;
+  while (!at(TokKind::Eof) && !at(TokKind::RBrace)) {
+    if (acceptIdent("append")) {
+      if (!acceptIdent("method")) {
+        error("expected 'method' after 'append'");
+        syncToStmtEnd();
+        continue;
+      }
+      parseAppendMethod(T);
+      continue;
+    }
+    bool IsStatic = acceptIdent("static");
+    bool IsAbstract = acceptIdent("abstract");
+    if (acceptIdent("field")) {
+      if (IsAbstract)
+        error("fields cannot be abstract");
+      parseFieldDecl(T, IsStatic);
+      continue;
+    }
+    if (acceptIdent("method")) {
+      parseMethodDecl(T, IsStatic, IsAbstract);
+      continue;
+    }
+    error("expected field, method, or append declaration, found '" +
+          cur().Text + "'");
+    syncToStmtEnd();
+  }
+  expect(TokKind::RBrace, "'}'");
+}
+
+void Parser::parseAppendMethod(TypeId T) {
+  std::string Name = expectIdent("method name");
+  if (Name.empty())
+    return;
+  MethodId Target = InvalidId;
+  bool Ambiguous = false;
+  for (MethodId M : P.type(T).Methods)
+    if (P.method(M).Name == Name) {
+      if (Target != InvalidId)
+        Ambiguous = true;
+      Target = M;
+    }
+  if (Target == InvalidId) {
+    error("class '" + P.type(T).Name + "' has no method '" + Name +
+          "' to append to");
+    skipBracedBlock();
+    return;
+  }
+  if (Ambiguous) {
+    error("method '" + Name + "' is overloaded in '" + P.type(T).Name +
+          "'; append is ambiguous");
+    skipBracedBlock();
+    return;
+  }
+  if (P.method(Target).IsAbstract) {
+    error("cannot append to abstract method '" + Name + "'");
+    skipBracedBlock();
+    return;
+  }
+
+  // The method's existing locals (parameters and `this` included) come
+  // back into scope; new `var` declarations extend the method.
+  Scope.clear();
+  for (VarId V : P.method(Target).Vars)
+    Scope[P.var(V).Name] = V;
+
+  MethodBuilder MB(P, Target);
+  expect(TokKind::LBrace, "'{'");
+  while (!at(TokKind::Eof) && !at(TokKind::RBrace))
+    parseStmt(MB);
   expect(TokKind::RBrace, "'}'");
 }
 

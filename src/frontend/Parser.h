@@ -11,7 +11,7 @@
 ///
 /// Grammar sketch:
 /// \code
-///   program   := classDecl*
+///   program   := (classDecl | extendDecl)*
 ///   classDecl := ["abstract"] "class" ID ["extends" ID]
 ///                  ["implements" ID ("," ID)*] "{" member* "}"
 ///              | "interface" ID ["extends" ID ("," ID)*] "{" sig* "}"
@@ -31,7 +31,21 @@
 ///              | [ID "="] "dcall" ID "." ID "." ID "(" args? ")" ";"
 ///              | "return" [ID] ";"
 ///              | "if" "?" block ["else" block]
+///
+///   -- Delta form (analysis server add-delta; also valid in any source
+///   -- parsed after the class's definition):
+///   extendDecl := "extend" "class" ID "{" extendMember* "}"
+///   extendMember := member
+///                 | "append" "method" ID block
 /// \endcode
+///
+/// `extend class` reopens an already-defined class to add fields and
+/// methods; `append method` appends statements to the body of the named
+/// (non-overloaded, concrete) method, with the method's existing locals
+/// back in scope. A delta source parsed after the base sources produces
+/// exactly the entity ids a from-scratch parse of the concatenation
+/// would — the property the incremental solver's equivalence contract
+/// rests on.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -87,6 +101,9 @@ private:
 
   // Grammar productions.
   void parseClassDecl();
+  void parseExtendDecl();
+  void parseAppendMethod(TypeId T);
+  void skipBracedBlock();
   void parseInterfaceBody(TypeId T);
   void parseClassBody(TypeId T);
   void parseFieldDecl(TypeId T, bool IsStatic);

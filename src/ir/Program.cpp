@@ -227,3 +227,8 @@ std::string Program::methodString(MethodId M) const {
   return Types[MI.Owner].Name + "." + MI.Name + "/" +
          std::to_string(MI.ParamTypes.size());
 }
+
+void Program::invalidateHierarchyCaches() const {
+  SubtypeCache.clear();
+  DispatchCache.clear();
+}

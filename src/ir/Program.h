@@ -203,6 +203,12 @@ public:
   /// Human-readable method signature "Owner.name/arity".
   std::string methodString(MethodId M) const;
 
+  /// Drops the memoized subtype/dispatch answers. Must be called after a
+  /// delta mutates the class hierarchy (new classes, new methods): the
+  /// memos were computed against the pre-delta hierarchy and a cached
+  /// negative dispatch answer could otherwise hide a newly added method.
+  void invalidateHierarchyCaches() const;
+
 private:
   bool computeSubtype(TypeId Sub, TypeId Sup) const;
 

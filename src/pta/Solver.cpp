@@ -49,8 +49,12 @@ Solver::Solver(const Program &P, SolverOptions Opts) : P(P), Opts(Opts) {
 
   // Index statements by their base variable so points-to growth of a base
   // triggers exactly the dependent loads/stores/calls.
+  indexBaseUses(0);
+}
+
+void Solver::indexBaseUses(StmtId Begin) {
   BaseUses.resize(P.numVars());
-  for (StmtId S = 0; S < P.numStmts(); ++S) {
+  for (StmtId S = Begin; S < P.numStmts(); ++S) {
     const Stmt &St = P.stmt(S);
     switch (St.Kind) {
     case StmtKind::Load:
@@ -259,6 +263,8 @@ void Solver::addReachable(MethodId M, CtxId C) {
 
   const MethodInfo &MI = P.method(M);
   for (StmtId SId : MI.AllStmts) {
+    if (!stmtEnabled(SId))
+      continue; // Demand slice: outside the queried variables' cone.
     const Stmt &S = P.stmt(SId);
     switch (S.Kind) {
     case StmtKind::New:
@@ -368,59 +374,62 @@ void Solver::processPointer(PtrId Pr, const PointsToSet &Delta) {
     VarId V = PI.A;
     CtxId C = PI.B;
     for (StmtId SId : BaseUses[V]) {
-      const Stmt &S = P.stmt(SId);
-      switch (S.Kind) {
-      case StmtKind::Load: {
-        PtrId To = varPtr(S.To, C); // Loop-invariant: intern once.
-        Delta.forEach([&](CSObjId O) {
-          addPFGEdge(fieldPtr(O, S.Field), To, InvalidId,
-                     EdgeOrigin::Load);
-        });
-        break;
-      }
-      case StmtKind::Store:
-        // [Store]: suppressed for statements in cutStores.
-        if (!isCutStore(SId)) {
-          PtrId From = varPtr(S.From, C);
-          Delta.forEach([&](CSObjId O) {
-            addPFGEdge(From, fieldPtr(O, S.Field), InvalidId,
-                       EdgeOrigin::Store);
-          });
-        }
-        break;
-      case StmtKind::ArrayLoad: {
-        PtrId To = varPtr(S.To, C);
-        Delta.forEach([&](CSObjId O) {
-          if (!P.obj(CSM.csObj(O).O).IsArray)
-            return;
-          addPFGEdge(CSM.getArrayPtr(O), To, InvalidId,
-                     EdgeOrigin::ArrayLoad);
-        });
-        break;
-      }
-      case StmtKind::ArrayStore: {
-        PtrId From = varPtr(S.From, C);
-        Delta.forEach([&](CSObjId O) {
-          const ObjInfo &OI = P.obj(CSM.csObj(O).O);
-          if (!OI.IsArray)
-            return;
-          // Runtime array-store check: filter by the array's element type.
-          addPFGEdge(From, CSM.getArrayPtr(O),
-                     P.type(OI.Type).ArrayElem, EdgeOrigin::ArrayStore);
-        });
-        break;
-      }
-      case StmtKind::Invoke:
-        Delta.forEach(
-            [&](CSObjId O) { processCallOnReceiver(S, C, O); });
-        break;
-      default:
-        break;
-      }
+      if (!stmtEnabled(SId))
+        continue; // Demand slice: outside the queried variables' cone.
+      processBaseUse(P.stmt(SId), SId, C, Delta);
     }
   }
   for (SolverPlugin *Pl : Plugins)
     Pl->onNewPointsTo(Pr, Delta);
+}
+
+void Solver::processBaseUse(const Stmt &S, StmtId SId, CtxId C,
+                            const PointsToSet &Delta) {
+  switch (S.Kind) {
+  case StmtKind::Load: {
+    PtrId To = varPtr(S.To, C); // Loop-invariant: intern once.
+    Delta.forEach([&](CSObjId O) {
+      addPFGEdge(fieldPtr(O, S.Field), To, InvalidId, EdgeOrigin::Load);
+    });
+    break;
+  }
+  case StmtKind::Store:
+    // [Store]: suppressed for statements in cutStores.
+    if (!isCutStore(SId)) {
+      PtrId From = varPtr(S.From, C);
+      Delta.forEach([&](CSObjId O) {
+        addPFGEdge(From, fieldPtr(O, S.Field), InvalidId,
+                   EdgeOrigin::Store);
+      });
+    }
+    break;
+  case StmtKind::ArrayLoad: {
+    PtrId To = varPtr(S.To, C);
+    Delta.forEach([&](CSObjId O) {
+      if (!P.obj(CSM.csObj(O).O).IsArray)
+        return;
+      addPFGEdge(CSM.getArrayPtr(O), To, InvalidId, EdgeOrigin::ArrayLoad);
+    });
+    break;
+  }
+  case StmtKind::ArrayStore: {
+    PtrId From = varPtr(S.From, C);
+    Delta.forEach([&](CSObjId O) {
+      const ObjInfo &OI = P.obj(CSM.csObj(O).O);
+      if (!OI.IsArray)
+        return;
+      // Runtime array-store check: filter by the array's element type.
+      addPFGEdge(From, CSM.getArrayPtr(O), P.type(OI.Type).ArrayElem,
+                 EdgeOrigin::ArrayStore);
+    });
+    break;
+  }
+  case StmtKind::Invoke:
+    Delta.forEach([&](CSObjId O) { processCallOnReceiver(S, C, O); });
+    break;
+  default:
+    break;
+  }
 }
 
 void Solver::propagateAlongEdges(PtrId Rep, const PointsToSet &Set) {
@@ -771,7 +780,6 @@ void Solver::runParallelSweep() {
 
 PTAResult Solver::solve() {
   Clock.reset();
-  PTAResult R;
 
   // The sweep pool exists only when asked for: par=1 never constructs a
   // thread, so the serial engine is untouched down to the instruction
@@ -788,6 +796,121 @@ PTAResult Solver::solve() {
   assert(P.entry() != InvalidId && "program has no entry point");
   addReachable(P.entry(), CM.empty());
 
+  runFixpointLoop();
+  return finishRun();
+}
+
+PTAResult Solver::resolveIncrement(uint32_t OldNumStmts) {
+  assert(canResume() &&
+         "resolveIncrement requires a completed plugin-free run");
+  Clock.reset();
+  Solved = false;
+
+  // Grow the per-entity tables to the post-delta program and index only
+  // the new statements (additive deltas never touch existing ids).
+  CutStores.resize(P.numStmts(), 0);
+  CutReturns.resize(P.numVars(), 0);
+  indexBaseUses(OldNumStmts);
+
+  // Seed the worklist with the delta: replay every new statement of every
+  // already-reachable (method, context). New methods need nothing here —
+  // the resumed fixpoint discovers them through the call edges the
+  // replays (and subsequent propagation) create, exactly as a cold run
+  // would. Snapshot copy: replays extend the underlying reachable list.
+  std::vector<CSMethodId> Snapshot = CG.reachableMethods();
+  for (CSMethodId CSMth : Snapshot) {
+    const CSMethodInfo &CSMI = CG.csMethod(CSMth);
+    const MethodInfo &MI = P.method(CSMI.M);
+    for (StmtId SId : MI.AllStmts) {
+      if (SId < OldNumStmts || !stmtEnabled(SId))
+        continue;
+      replayNewStmt(CSMth, P.stmt(SId), SId, CSMI.Ctx);
+    }
+  }
+
+  runFixpointLoop();
+  return finishRun();
+}
+
+void Solver::replayNewStmt(CSMethodId CSMth, const Stmt &S, StmtId SId,
+                           CtxId C) {
+  switch (S.Kind) {
+  case StmtKind::New:
+  case StmtKind::NewArray: {
+    CtxId HCtx = Selector->selectHeap(CM, C, S.Obj);
+    enqueueObj(varPtr(S.To, C), CSM.getCSObj(S.Obj, HCtx));
+    break;
+  }
+  case StmtKind::Assign:
+    addPFGEdge(varPtr(S.From, C), varPtr(S.To, C), InvalidId,
+               EdgeOrigin::Assign);
+    break;
+  case StmtKind::Cast:
+    addPFGEdge(varPtr(S.From, C), varPtr(S.To, C), S.Type,
+               EdgeOrigin::Cast);
+    break;
+  case StmtKind::StaticLoad:
+    addPFGEdge(CSM.getStaticPtr(S.Field), varPtr(S.To, C), InvalidId,
+               EdgeOrigin::StaticLoad);
+    break;
+  case StmtKind::StaticStore:
+    addPFGEdge(varPtr(S.From, C), CSM.getStaticPtr(S.Field), InvalidId,
+               EdgeOrigin::StaticStore);
+    break;
+  case StmtKind::Invoke:
+    if (S.IKind == InvokeKind::Static) {
+      MethodId Callee = S.DirectCallee;
+      assert(Callee != InvalidId && "unresolved static call");
+      CtxId CalleeCtx = Selector->selectStatic(CM, C, S.CallSite, Callee);
+      CSCallSiteId CS = CG.getCSCallSite(S.CallSite, C);
+      CSMethodId CSCallee = CG.getCSMethod(Callee, CalleeCtx);
+      if (CG.addEdge(CS, CSCallee))
+        processCallEdge(CS, CSCallee, S, C, CalleeCtx);
+    } else {
+      // Receiver objects discovered before the delta will never revisit
+      // this new site on their own; replay them. Copy — dispatch may
+      // trigger collapses that grow the base's set mid-iteration.
+      PointsToSet Recv = ptsOf(varPtr(S.Base, C));
+      if (!Recv.empty())
+        processBaseUse(S, SId, C, Recv);
+    }
+    break;
+  case StmtKind::Load:
+  case StmtKind::Store:
+  case StmtKind::ArrayLoad:
+  case StmtKind::ArrayStore: {
+    PointsToSet Base = ptsOf(varPtr(S.Base, C)); // Copy; see Invoke case.
+    if (!Base.empty())
+      processBaseUse(S, SId, C, Base);
+    break;
+  }
+  case StmtKind::Return:
+    // A new return statement in an already-reachable method: wire the
+    // [Return] edges its *existing* call edges would have received in
+    // processCallEdge (edges added after the delta pick the variable up
+    // from the method's updated RetVars there).
+    if (S.From != InvalidId && !isCutReturn(S.From)) {
+      std::vector<CSCallSiteId> Callers = CG.callersOf(CSMth);
+      for (CSCallSiteId CallerCS : Callers) {
+        const CSCallSiteInfo &CSI = CG.csCallSite(CallerCS);
+        const Stmt &Call = P.stmt(P.callSite(CSI.CS).S);
+        if (Call.To == InvalidId)
+          continue;
+        if (isDeferredReturn(S.From)) {
+          PendingReturnTargets[S.From].push_back(varPtr(Call.To, CSI.Ctx));
+          continue;
+        }
+        addPFGEdge(varPtr(S.From, C), varPtr(Call.To, CSI.Ctx), InvalidId,
+                   EdgeOrigin::Return);
+      }
+    }
+    break;
+  case StmtKind::If:
+    break;
+  }
+}
+
+void Solver::runFixpointLoop() {
   // Scratch sets reused across iterations (buffers survive clear()).
   PointsToSet Delta;
   PointsToSet FullSet;
@@ -869,10 +992,13 @@ PTAResult Solver::solve() {
       Pl->onFixpoint();
     MoreRounds = !Next.empty() || Cursor != Current.size();
   }
+}
 
+PTAResult Solver::finishRun() {
   for (SolverPlugin *Pl : Plugins)
     Pl->onFinish();
 
+  PTAResult R;
   R.Exhausted = Exhausted;
   if (Scc) {
     // Merge the collapser-side counters; PropagationsSaved accumulated
@@ -890,6 +1016,7 @@ PTAResult Solver::solve() {
   Stats.ReachableCI = static_cast<uint32_t>(CG.reachableCI().size());
   R.Stats = Stats;
   buildProjection(R);
+  Solved = true;
   R.TimeMs = Clock.elapsedMs();
   return R;
 }
@@ -927,6 +1054,11 @@ void Solver::buildProjection(PTAResult &R) {
   R.CalleesPerSite.resize(P.numCallSites());
   for (const auto &[CS, M] : CG.ciEdges())
     R.CalleesPerSite[CS].push_back(M);
+  // Canonical per-site order: ciEdges() is in discovery order, which a
+  // warm-started run (resolveIncrement) interleaves differently than a
+  // cold run. Sorting makes the projection fixpoint-determined.
+  for (std::vector<MethodId> &Callees : R.CalleesPerSite)
+    std::sort(Callees.begin(), Callees.end());
   R.Reachable = CG.reachableCI();
   R.NumCallEdgesCI = CG.ciEdges().size();
 }

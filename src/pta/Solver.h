@@ -80,6 +80,15 @@ struct SolverOptions {
   /// JSON report bytes are identical for every value of N — the same
   /// determinism bar AnalysisSession::runAll sets for --jobs.
   unsigned ParallelSweeps = 1;
+  /// Optional statement restriction for demand-driven solving (not owned;
+  /// must outlive the solver). When set, statement discovery
+  /// (addReachable) and points-to-driven statement reprocessing skip any
+  /// statement whose id maps to 0; ids at or beyond the bitset's size are
+  /// enabled. The caller (server/DemandSlicer) guarantees the enabled set
+  /// is closed under the dependences of the queried variables, so the
+  /// restricted fixpoint computes exactly the whole-program points-to
+  /// sets for them at slice-bounded cost. nullptr = all enabled.
+  const std::vector<uint8_t> *EnabledStmts = nullptr;
 };
 
 class Solver {
@@ -92,6 +101,33 @@ public:
 
   /// Runs the analysis from the program entry point.
   PTAResult solve();
+
+  /// True if a completed solve() can be extended in place by
+  /// resolveIncrement: the previous run reached its fixpoint (not budget
+  /// -exhausted) and no plugins are registered (plugin state machines —
+  /// cut/shortcut discovery — are not replayed against deltas).
+  bool canResume() const { return Solved && !Exhausted && Plugins.empty(); }
+
+  /// Warm re-solve after an additive program delta: the Program this
+  /// solver borrows has grown (new types/fields/methods/vars/statements
+  /// appended; nothing existing removed or reordered) and the caller has
+  /// invalidated the Program's hierarchy memos. Statements the previous
+  /// run already processed keep their facts — pointer-analysis facts are
+  /// monotone, so the retained fixpoint is a sound lower bound for the
+  /// post-delta program. This seeds the worklist with only the new
+  /// statements' effects: new statements of already-reachable methods are
+  /// replayed against the current points-to sets, and everything else
+  /// (new methods, new call edges) is discovered by the resumed fixpoint.
+  /// Requires canResume(). The returned PTAResult is identical in every
+  /// fixpoint-determined field to a from-scratch solve of the post-delta
+  /// program (scheduling diagnostics like WorklistPops may differ).
+  ///
+  /// Not safe for deltas that change dispatch of pre-existing classes
+  /// (e.g. a new method whose owner existed before the delta): a
+  /// previously resolved virtual call could gain a target the replay does
+  /// not revisit. Callers classify deltas (see server/IncrementalSolver)
+  /// and fall back to a fresh solver when in doubt.
+  PTAResult resolveIncrement(uint32_t OldNumStmts);
 
   //===--------------------------------------------------------------------===
   // Plugin / query API
@@ -173,6 +209,26 @@ private:
   void enqueueSet(PtrId Pr, const PointsToSet &Set, TypeId Filter);
   const PointsToSet &filterMask(TypeId Filter);
   void processPointer(PtrId Pr, const PointsToSet &Delta);
+  /// One base-dependent statement's reaction to new receiver facts: the
+  /// per-statement half of processPointer, also used by resolveIncrement
+  /// to replay a *new* statement against a base's already-computed set.
+  void processBaseUse(const Stmt &S, StmtId SId, CtxId C,
+                      const PointsToSet &Delta);
+  bool stmtEnabled(StmtId S) const {
+    return !Opts.EnabledStmts || S >= Opts.EnabledStmts->size() ||
+           (*Opts.EnabledStmts)[S];
+  }
+  /// (Re)indexes BaseUses for statements with id >= Begin.
+  void indexBaseUses(StmtId Begin);
+  /// Seeds the effects of one delta statement in an already-reachable
+  /// (method, context) during resolveIncrement.
+  void replayNewStmt(CSMethodId CSMth, const Stmt &S, StmtId SId, CtxId C);
+  /// Drains the worklist to a fixpoint (or budget exhaustion), including
+  /// the plugin onFixpoint resumption rounds.
+  void runFixpointLoop();
+  /// Plugin onFinish, stats finalization, and result projection shared by
+  /// solve() and resolveIncrement().
+  PTAResult finishRun();
   void markDirty(PtrId Pr);
   void ensurePtr(PtrId Pr);
   void buildProjection(PTAResult &R);
@@ -301,6 +357,7 @@ private:
 
   SolverStats Stats;
   bool Exhausted = false;
+  bool Solved = false; ///< A solve()/resolveIncrement() has completed.
   Timer Clock;
 
   inline static const PointsToSet EmptyPts{};

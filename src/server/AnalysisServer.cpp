@@ -1,0 +1,502 @@
+//===- AnalysisServer.cpp - Long-lived NDJSON analysis service ------------===//
+//
+// Part of the Cut-Shortcut pointer analysis reproduction.
+//
+//===----------------------------------------------------------------------===//
+
+#include "server/AnalysisServer.h"
+
+#include "frontend/Parser.h"
+#include "ir/Verifier.h"
+#include "stdlib/Stdlib.h"
+#include "support/Json.h"
+
+#include <cassert>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+using namespace csc;
+
+//===----------------------------------------------------------------------===//
+// Small helpers
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Name-based lookups over the program alone (ResultView needs a result;
+/// demand queries resolve names before any solving happens). Semantics
+/// match ResultView::findMethod / findVar exactly.
+MethodId findMethodByName(const Program &P, std::string_view Qualified) {
+  size_t Dot = Qualified.rfind('.');
+  if (Dot == std::string_view::npos)
+    return InvalidId;
+  TypeId T = P.typeByName(std::string(Qualified.substr(0, Dot)));
+  if (T == InvalidId)
+    return InvalidId;
+  std::string_view Name = Qualified.substr(Dot + 1);
+  for (MethodId M : P.type(T).Methods)
+    if (P.method(M).Name == Name)
+      return M;
+  return InvalidId;
+}
+
+VarId findVarByName(const Program &P, std::string_view Qualified) {
+  size_t Dot = Qualified.rfind('.');
+  if (Dot == std::string_view::npos)
+    return InvalidId;
+  MethodId M = findMethodByName(P, Qualified.substr(0, Dot));
+  if (M == InvalidId)
+    return InvalidId;
+  std::string_view Name = Qualified.substr(Dot + 1);
+  for (VarId V : P.method(M).Vars)
+    if (P.var(V).Name == Name)
+      return V;
+  return InvalidId;
+}
+
+std::string errorResponse(const std::string &Msg) {
+  JsonWriter W;
+  W.beginObject().kv("ok", false).kv("error", Msg).endObject();
+  return W.take();
+}
+
+/// Fetches a required string member; null with a pinned diagnostic.
+const std::string *stringField(const JsonValue &Req, const char *Key,
+                               std::string &Error) {
+  const JsonValue *V = Req.get(Key);
+  if (!V || !V->isString()) {
+    Error = std::string("missing or non-string '") + Key + "'";
+    return nullptr;
+  }
+  return &V->Str;
+}
+
+void writeObjects(JsonWriter &W, const Program &P, const PointsToSet &Pts) {
+  W.key("objects").beginArray();
+  Pts.forEach([&](ObjId O) {
+    W.beginObject()
+        .kv("obj", O)
+        .kv("type", P.type(P.obj(O).Type).Name)
+        .endObject();
+  });
+  W.endArray();
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Construction / loading
+//===----------------------------------------------------------------------===//
+
+AnalysisServer::AnalysisServer() : AnalysisServer(Options()) {}
+AnalysisServer::AnalysisServer(Options O) : Opts(std::move(O)) {}
+AnalysisServer::~AnalysisServer() = default;
+
+const AnalysisRegistry &AnalysisServer::registry() const {
+  return Opts.Registry ? *Opts.Registry : AnalysisRegistry::global();
+}
+
+bool AnalysisServer::load(
+    const std::vector<std::pair<std::string, std::string>> &NamedSources,
+    std::vector<std::string> &Diags) {
+  auto NewProg = std::make_unique<Program>();
+  std::vector<std::pair<std::string, std::string>> All;
+  if (Opts.WithStdlib)
+    All.emplace_back("<stdlib>", stdlibSource());
+  All.insert(All.end(), NamedSources.begin(), NamedSources.end());
+  if (!parseProgram(*NewProg, All, Diags))
+    return false;
+  std::vector<std::string> Errors = verifyProgram(*NewProg);
+  for (const std::string &E : Errors)
+    Diags.push_back("verifier: " + E);
+  if (!Errors.empty())
+    return false;
+  if (NewProg->entry() == InvalidId) {
+    Diags.push_back("error: no static main() entry point");
+    return false;
+  }
+  Prog = std::move(NewProg);
+  Slicer = std::make_unique<DemandSlicer>(*Prog);
+  Specs.clear();
+  Version = 1;
+  Deltas = 0;
+  return true;
+}
+
+bool AnalysisServer::loadFiles(const std::vector<std::string> &Paths,
+                               std::vector<std::string> &Diags) {
+  std::vector<std::pair<std::string, std::string>> Named;
+  for (const std::string &Path : Paths) {
+    std::ifstream In(Path);
+    if (!In) {
+      Diags.push_back("error: cannot open '" + Path + "'");
+      return false;
+    }
+    std::ostringstream Buf;
+    Buf << In.rdbuf();
+    Named.emplace_back(Path, Buf.str());
+  }
+  if (Named.empty()) {
+    Diags.push_back("error: no input files");
+    return false;
+  }
+  return load(Named, Diags);
+}
+
+//===----------------------------------------------------------------------===//
+// Per-spec resident state
+//===----------------------------------------------------------------------===//
+
+AnalysisServer::SpecState *
+AnalysisServer::specState(const std::string &SpecText, std::string &Error) {
+  AnalysisSpec Spec;
+  if (!parseAnalysisSpec(SpecText, Spec, Error))
+    return nullptr;
+  Spec.Name = registry().resolveName(Spec.Name);
+  std::string Key = canonicalSpec(Spec);
+  auto It = Specs.find(Key);
+  if (It != Specs.end())
+    return &It->second;
+
+  SpecState St;
+  if (!registry().build(Spec, St.Recipe, Error))
+    return nullptr;
+  if (IncrementalSolver::eligible(St.Recipe)) {
+    IncrementalSolver::Options IOpts;
+    IOpts.WorkBudget = Opts.WorkBudget;
+    IOpts.TimeBudgetMs = Opts.TimeBudgetMs;
+    St.Inc = std::make_unique<IncrementalSolver>(*Prog, St.Recipe, IOpts);
+  }
+  return &Specs.emplace(std::move(Key), std::move(St)).first->second;
+}
+
+//===----------------------------------------------------------------------===//
+// query
+//===----------------------------------------------------------------------===//
+
+std::string AnalysisServer::handleQuery(const JsonValue &Req) {
+  std::string Error;
+  const std::string *Kind = stringField(Req, "kind", Error);
+  if (!Kind)
+    return errorResponse(Error);
+  bool IsPointsTo = *Kind == "points-to";
+  bool IsMayAlias = *Kind == "may-alias";
+  bool IsCallees = *Kind == "callees";
+  if (!IsPointsTo && !IsMayAlias && !IsCallees)
+    return errorResponse("unknown query kind '" + *Kind + "'");
+
+  std::string SpecText = Opts.DefaultSpec;
+  if (const JsonValue *V = Req.get("spec")) {
+    if (!V->isString())
+      return errorResponse("missing or non-string 'spec'");
+    SpecText = V->Str;
+  }
+  std::string Mode = "auto";
+  if (const JsonValue *V = Req.get("mode")) {
+    if (!V->isString())
+      return errorResponse("missing or non-string 'mode'");
+    Mode = V->Str;
+  }
+  if (Mode != "auto" && Mode != "full" && Mode != "demand")
+    return errorResponse("unknown query mode '" + Mode + "'");
+
+  // Resolve names before solving anything.
+  VarId QueryVar = InvalidId, AliasA = InvalidId, AliasB = InvalidId;
+  MethodId QueryMethod = InvalidId;
+  std::string VarName, AName, BName, MethodName;
+  if (IsPointsTo) {
+    const std::string *S = stringField(Req, "var", Error);
+    if (!S)
+      return errorResponse(Error);
+    VarName = *S;
+    QueryVar = findVarByName(*Prog, VarName);
+    if (QueryVar == InvalidId)
+      return errorResponse("unknown variable '" + VarName + "'");
+  } else if (IsMayAlias) {
+    const std::string *A = stringField(Req, "a", Error);
+    if (!A)
+      return errorResponse(Error);
+    const std::string *B = stringField(Req, "b", Error);
+    if (!B)
+      return errorResponse(Error);
+    AName = *A;
+    BName = *B;
+    AliasA = findVarByName(*Prog, AName);
+    if (AliasA == InvalidId)
+      return errorResponse("unknown variable '" + AName + "'");
+    AliasB = findVarByName(*Prog, BName);
+    if (AliasB == InvalidId)
+      return errorResponse("unknown variable '" + BName + "'");
+  } else {
+    const std::string *S = stringField(Req, "method", Error);
+    if (!S)
+      return errorResponse(Error);
+    MethodName = *S;
+    QueryMethod = findMethodByName(*Prog, MethodName);
+    if (QueryMethod == InvalidId)
+      return errorResponse("unknown method '" + MethodName + "'");
+  }
+
+  SpecState *St = specState(SpecText, Error);
+  if (!St)
+    return errorResponse(Error);
+  const std::string &Canonical = St->Recipe.Name;
+  if (Mode == "demand" && !St->Inc)
+    return errorResponse("demand mode is not available for spec '" +
+                         Canonical + "'");
+
+  // Mode resolution. "auto" answers demand-driven only while the spec has
+  // never been fully solved (the cold-query case); once a resident
+  // fixpoint exists, keeping it current via warm resume is cheaper than
+  // slicing per query.
+  bool UseDemand = Mode == "demand";
+  if (Mode == "auto" && St->Inc && St->Inc->fullSolves() == 0 &&
+      St->Inc->warmResumes() == 0)
+    UseDemand = true;
+
+  PTAResult DemandResult;
+  const PTAResult *R = nullptr;
+  DemandSlicer::Slice Slice;
+  bool WarmStart = false;
+  double FullRunMs = 0;
+  if (UseDemand) {
+    std::vector<VarId> Roots;
+    if (IsPointsTo)
+      Roots.push_back(QueryVar);
+    else if (IsMayAlias) {
+      Roots.push_back(AliasA);
+      Roots.push_back(AliasB);
+    } // callees: the call-graph core alone answers it.
+    Slice = Slicer->sliceFor(Roots);
+    DemandResult = St->Inc->demandSolve(Slice.Enabled);
+    ++St->DemandSolves;
+    R = &DemandResult;
+  } else if (St->Inc) {
+    R = &St->Inc->ensureCurrent();
+    WarmStart = St->Inc->lastWasWarm();
+  } else {
+    // Plugin / pre-analysis recipes: cached from-scratch run per version.
+    if (St->RunVersion != Version) {
+      AnalysisSession::Options SOpts;
+      SOpts.WithStdlib = Opts.WithStdlib;
+      SOpts.WorkBudget = Opts.WorkBudget;
+      SOpts.TimeBudgetMs = Opts.TimeBudgetMs;
+      SOpts.Registry = Opts.Registry;
+      AnalysisSession Sess(*Prog, SOpts);
+      St->Run = Sess.run(St->Recipe);
+      St->RunVersion = Version;
+    }
+    if (St->Run.Status != RunStatus::Completed)
+      return errorResponse("analysis budget exhausted");
+    R = &St->Run.Result;
+    FullRunMs = St->Run.Timings.TotalMs;
+  }
+  if (R->Exhausted)
+    return errorResponse("analysis budget exhausted");
+
+  JsonWriter W;
+  W.beginObject()
+      .kv("ok", true)
+      .kv("op", "query")
+      .kv("kind", *Kind)
+      .kv("spec", Canonical);
+  if (IsPointsTo) {
+    W.kv("var", VarName);
+    const PointsToSet &Pts = R->pt(QueryVar);
+    W.kv("size", static_cast<uint64_t>(Pts.size()));
+    writeObjects(W, *Prog, Pts);
+  } else if (IsMayAlias) {
+    W.kv("a", AName).kv("b", BName).kv("alias", R->mayAlias(AliasA, AliasB));
+  } else {
+    W.kv("method", MethodName)
+        .kv("reachable", R->isReachable(QueryMethod));
+    W.key("sites").beginArray();
+    for (StmtId SId : Prog->method(QueryMethod).AllStmts) {
+      const Stmt &S = Prog->stmt(SId);
+      if (S.Kind != StmtKind::Invoke)
+        continue;
+      W.beginObject().kv("line", S.Line).key("callees").beginArray();
+      for (MethodId Callee : R->calleesOf(S.CallSite))
+        W.value(Prog->methodString(Callee));
+      W.endArray().endObject();
+    }
+    W.endArray();
+  }
+
+  // Diagnostics: session version, mode, work, timing. Everything in here
+  // may legitimately differ between a warm resume, a demand slice, and a
+  // cold oracle run — CI strips it (with timings) before diffing answers.
+  W.key("meta").beginObject();
+  W.kv("version", Version);
+  W.kv("mode", UseDemand ? "demand" : "full");
+  if (UseDemand) {
+    W.kv("enabled_stmts", Slice.EnabledStmts)
+        .kv("relevant_vars", Slice.RelevantVars)
+        .kv("pts_insertions", R->Stats.PtsInsertions);
+  } else {
+    W.kv("warm_start", WarmStart);
+  }
+  W.kv("time_ms", St->Inc ? R->TimeMs : FullRunMs);
+  W.endObject().endObject();
+  return W.take();
+}
+
+//===----------------------------------------------------------------------===//
+// add-delta
+//===----------------------------------------------------------------------===//
+
+std::string AnalysisServer::handleAddDelta(const JsonValue &Req) {
+  std::string Error;
+  const std::string *Source = stringField(Req, "source", Error);
+  if (!Source)
+    return errorResponse(Error);
+  std::string Name = "<delta-" + std::to_string(Deltas + 1) + ">";
+  if (const JsonValue *V = Req.get("name")) {
+    if (!V->isString())
+      return errorResponse("missing or non-string 'name'");
+    Name = V->Str;
+  }
+
+  // Trial-apply on a copy: the live program (and every resident solver
+  // borrowing it) is only touched once the delta is known to be valid.
+  {
+    Program Trial = *Prog;
+    Parser TP(Trial);
+    std::vector<std::string> Errs;
+    if (!TP.parseSource(*Source, Name) || !TP.finalize()) {
+      Errs = TP.diagnostics();
+    } else {
+      for (const std::string &E : verifyProgram(Trial))
+        Errs.push_back("verifier: " + E);
+    }
+    if (!Errs.empty()) {
+      JsonWriter W;
+      W.beginObject().kv("ok", false).kv("error", "delta rejected");
+      W.key("errors").beginArray();
+      for (const std::string &E : Errs)
+        W.value(E);
+      W.endArray().endObject();
+      return W.take();
+    }
+  }
+
+  uint32_t OldTypes = Prog->numTypes();
+  uint32_t OldMethods = Prog->numMethods();
+  uint32_t OldStmts = Prog->numStmts();
+  Parser LP(*Prog);
+  bool Ok = LP.parseSource(*Source, Name) && LP.finalize();
+  (void)Ok;
+  assert(Ok && "delta passed trial parse but failed on the live program");
+  Prog->invalidateHierarchyCaches();
+  Slicer->reindex();
+
+  // Monotonicity classification: a new method on a pre-existing class can
+  // change dispatch for objects already flowing through the fixpoint —
+  // the retained solution is no longer a valid starting point. Methods
+  // owned by types the delta itself introduced cannot be dispatch targets
+  // of any pre-delta points-to fact.
+  bool Warm = true;
+  for (MethodId M = OldMethods; M < Prog->numMethods(); ++M)
+    if (Prog->method(M).Owner < OldTypes)
+      Warm = false;
+
+  ++Version;
+  ++Deltas;
+  for (auto &[Key, St] : Specs)
+    if (St.Inc)
+      St.Inc->noteDelta(Warm);
+
+  JsonWriter W;
+  W.beginObject()
+      .kv("ok", true)
+      .kv("op", "add-delta")
+      .kv("name", Name)
+      .kv("version", Version)
+      .kv("warm_start", Warm)
+      .kv("new_types", Prog->numTypes() - OldTypes)
+      .kv("new_methods", Prog->numMethods() - OldMethods)
+      .kv("new_stmts", Prog->numStmts() - OldStmts)
+      .endObject();
+  return W.take();
+}
+
+//===----------------------------------------------------------------------===//
+// stats / dispatch / serve
+//===----------------------------------------------------------------------===//
+
+std::string AnalysisServer::handleStats() {
+  JsonWriter W;
+  W.beginObject()
+      .kv("ok", true)
+      .kv("op", "stats")
+      .kv("version", Version)
+      .kv("deltas", Deltas);
+  W.key("program")
+      .beginObject()
+      .kv("types", Prog->numTypes())
+      .kv("methods", Prog->numMethods())
+      .kv("vars", Prog->numVars())
+      .kv("stmts", Prog->numStmts())
+      .kv("call_sites", Prog->numCallSites())
+      .endObject();
+  W.key("specs").beginArray();
+  for (const auto &[Key, St] : Specs) {
+    W.beginObject().kv("spec", Key).kv("incremental", St.Inc != nullptr);
+    if (St.Inc) {
+      W.kv("full_solves", St.Inc->fullSolves())
+          .kv("warm_resumes", St.Inc->warmResumes())
+          .kv("current", St.Inc->current());
+    } else {
+      W.kv("full_solves",
+           static_cast<uint64_t>(St.RunVersion != 0 ? 1 : 0))
+          .kv("current", St.RunVersion == Version);
+    }
+    W.kv("demand_solves", St.DemandSolves).endObject();
+  }
+  W.endArray().endObject();
+  return W.take();
+}
+
+std::string AnalysisServer::handleLine(const std::string &Line,
+                                       bool *Shutdown) {
+  assert(Prog && "handleLine before load()");
+  JsonValue Req;
+  std::string Error;
+  if (!parseJson(Line, Req, Error))
+    return errorResponse("parse error: " + Error);
+  if (!Req.isObject())
+    return errorResponse("request is not a JSON object");
+  std::string OpError;
+  const std::string *Op = stringField(Req, "op", OpError);
+  if (!Op)
+    return errorResponse(OpError);
+  if (*Op == "query")
+    return handleQuery(Req);
+  if (*Op == "add-delta")
+    return handleAddDelta(Req);
+  if (*Op == "stats")
+    return handleStats();
+  if (*Op == "shutdown") {
+    if (Shutdown)
+      *Shutdown = true;
+    JsonWriter W;
+    W.beginObject().kv("ok", true).kv("op", "shutdown").endObject();
+    return W.take();
+  }
+  return errorResponse("unknown op '" + *Op + "'");
+}
+
+int AnalysisServer::serve(std::istream &In, std::ostream &Out) {
+  std::string Line;
+  while (std::getline(In, Line)) {
+    if (Line.empty())
+      continue;
+    bool Shutdown = false;
+    Out << handleLine(Line, &Shutdown) << "\n" << std::flush;
+    if (Shutdown)
+      break;
+  }
+  return 0;
+}

@@ -286,6 +286,110 @@ TEST(BatchExecutorTest, FingerprintTracksContentNotIdentity) {
 }
 
 //===----------------------------------------------------------------------===//
+// Result-cache byte budget (LRU)
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+// One entry of this shape costs key(1) + json(100) + error(0) + 64
+// fixed overhead = 165 estimated bytes.
+ResultCache::Value valueOfJsonBytes(size_t N) {
+  ResultCache::Value V;
+  V.RunJson.assign(N, 'x');
+  return V;
+}
+constexpr uint64_t EntryCost = 1 + 100 + 64;
+
+} // namespace
+
+TEST(ResultCacheTest, ZeroBudgetIsUnlimited) {
+  ResultCache C;
+  EXPECT_EQ(C.byteBudget(), 0u);
+  for (int I = 0; I != 32; ++I)
+    C.store(std::string(1, static_cast<char>('a' + I)),
+            valueOfJsonBytes(100));
+  EXPECT_EQ(C.size(), 32u);
+  EXPECT_EQ(C.evictions(), 0u);
+  EXPECT_EQ(C.bytesUsed(), 32 * EntryCost);
+}
+
+TEST(ResultCacheTest, EvictsLeastRecentlyStoredOverBudget) {
+  ResultCache C;
+  C.setByteBudget(2 * EntryCost); // room for exactly two entries
+  C.store("a", valueOfJsonBytes(100));
+  C.store("b", valueOfJsonBytes(100));
+  EXPECT_EQ(C.size(), 2u);
+  EXPECT_EQ(C.evictions(), 0u);
+  C.store("c", valueOfJsonBytes(100)); // evicts "a", the oldest
+  EXPECT_EQ(C.size(), 2u);
+  EXPECT_EQ(C.evictions(), 1u);
+  EXPECT_EQ(C.bytesUsed(), 2 * EntryCost);
+  ResultCache::Value Out;
+  EXPECT_FALSE(C.lookup("a", Out));
+  EXPECT_TRUE(C.lookup("b", Out));
+  EXPECT_TRUE(C.lookup("c", Out));
+  EXPECT_EQ(C.hits(), 2u);
+  EXPECT_EQ(C.misses(), 1u);
+}
+
+TEST(ResultCacheTest, LookupRefreshesRecency) {
+  ResultCache C;
+  C.setByteBudget(2 * EntryCost);
+  C.store("a", valueOfJsonBytes(100));
+  C.store("b", valueOfJsonBytes(100));
+  ResultCache::Value Out;
+  ASSERT_TRUE(C.lookup("a", Out)); // "a" becomes most recently used
+  C.store("c", valueOfJsonBytes(100)); // so "b" is the one evicted
+  EXPECT_TRUE(C.lookup("a", Out));
+  EXPECT_FALSE(C.lookup("b", Out));
+  EXPECT_TRUE(C.lookup("c", Out));
+}
+
+TEST(ResultCacheTest, LoweringTheBudgetEvictsImmediately) {
+  ResultCache C;
+  C.store("a", valueOfJsonBytes(100));
+  C.store("b", valueOfJsonBytes(100));
+  C.store("c", valueOfJsonBytes(100));
+  C.setByteBudget(EntryCost); // keeps only the most recent entry
+  EXPECT_EQ(C.size(), 1u);
+  EXPECT_EQ(C.evictions(), 2u);
+  ResultCache::Value Out;
+  EXPECT_TRUE(C.lookup("c", Out));
+  EXPECT_FALSE(C.lookup("a", Out));
+}
+
+TEST(ResultCacheTest, OversizedEntryNeverBecomesResident) {
+  ResultCache C;
+  C.setByteBudget(EntryCost - 1);
+  C.store("a", valueOfJsonBytes(100)); // larger than the whole budget
+  EXPECT_EQ(C.size(), 0u);
+  EXPECT_EQ(C.evictions(), 1u);
+  EXPECT_EQ(C.bytesUsed(), 0u);
+  ResultCache::Value Out;
+  EXPECT_FALSE(C.lookup("a", Out));
+}
+
+TEST(BatchExecutorTest, TinyCacheBudgetOnlyCostsHits) {
+  // A budget too small to retain anything degrades hit rate, never
+  // results: the aggregate report stays byte-identical to the unlimited
+  // executor's, and a second identical run recomputes instead of hitting.
+  std::vector<BatchEntry> Entries = twoProgramBatch();
+  BatchExecutor::Options O;
+  O.Jobs = 2;
+  O.CacheBudgetBytes = 1;
+  BatchExecutor Tiny(O);
+  BatchReport First = Tiny.run(Entries);
+  BatchReport Second = Tiny.run(Entries);
+  EXPECT_EQ(Second.CacheHits, 0u);
+  EXPECT_EQ(Tiny.cache().size(), 0u);
+  EXPECT_GT(Tiny.cache().evictions(), 0u);
+
+  BatchReport Unlimited = BatchExecutor(withJobs(2)).run(Entries);
+  EXPECT_EQ(First.aggregateJson(), Unlimited.aggregateJson());
+  EXPECT_EQ(Second.aggregateJson(), Unlimited.aggregateJson());
+}
+
+//===----------------------------------------------------------------------===//
 // Manifest parsing
 //===----------------------------------------------------------------------===//
 

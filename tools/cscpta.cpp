@@ -10,18 +10,27 @@
 // Usage:
 //   cscpta [options] <file.jir>...
 //   cscpta [options] --batch <manifest.json>
+//   cscpta [options] --serve <file.jir>...
 //     --analyses <list>    comma-separated specs (default: csc); e.g.
 //                          "ci,csc,2obj" or "k-type;k=3,zipper-e;pv=0.05"
 //     --json               emit a JSON report on stdout
 //     --points-to <v>      also query pt() of "Class.method.var"
-//                          (repeatable; not available with --batch)
+//                          (repeatable and comma-separable; one fixpoint
+//                          serves all queries; not available with --batch)
+//     --demand             answer --points-to queries demand-driven: solve
+//                          only the backward slice reaching the queried
+//                          variables instead of the whole program
+//     --serve              long-lived NDJSON request/response session on
+//                          stdin/stdout (see docs/CLI.md)
 //     --budget-ms <n>      wall-clock budget per analysis (0 = unlimited)
 //     --work-budget <n>    points-to-insertion budget per analysis
 //     --jobs <n>           run analyses on up to n pool threads
 //     --batch <manifest>   run a {program, specs[]} manifest (see
 //                          docs/CLI.md for the schema)
 //     --repeat <n>         run the batch n times in-process (cache demo)
-//     --stats              per-run solver/SCC statistics on stderr
+//     --cache-budget <n>   batch result-cache byte budget (0 = unlimited)
+//     --stats              per-run solver/SCC statistics on stderr (with
+//                          --batch: result-cache statistics)
 //     --no-stdlib          do not prepend the modelled standard library
 //     --verbose            phase progress on stderr
 //     --list               list registered analyses and exit
@@ -34,11 +43,15 @@
 #include "client/AnalysisSession.h"
 #include "client/BatchExecutor.h"
 #include "client/Report.h"
+#include "server/AnalysisServer.h"
+#include "server/DemandSlicer.h"
+#include "server/IncrementalSolver.h"
 
 #include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <iostream>
 #include <string>
 #include <vector>
 
@@ -51,19 +64,24 @@ int usage(const char *Prog) {
       stderr,
       "usage: %s [options] <file.jir>...\n"
       "       %s [options] --batch <manifest.json>\n"
+      "       %s [options] --serve <file.jir>...\n"
       "  --analyses <list>  comma-separated analysis specs (default: csc)\n"
       "  --json             emit a JSON report on stdout\n"
-      "  --points-to <var>  query pt() of \"Class.method.var\" (repeatable)\n"
+      "  --points-to <var>  query pt() of \"Class.method.var\" (repeatable,\n"
+      "                     comma-separable; one fixpoint serves all)\n"
+      "  --demand           solve only the slice reaching --points-to vars\n"
+      "  --serve            NDJSON request/response session on stdin/stdout\n"
       "  --budget-ms <n>    wall-clock budget per analysis in ms\n"
       "  --work-budget <n>  points-to-insertion budget per analysis\n"
       "  --jobs <n>         run analyses on up to n pool threads\n"
       "  --batch <manifest> run a {program, specs[]} manifest\n"
       "  --repeat <n>       run the batch n times in-process\n"
+      "  --cache-budget <n> batch result-cache byte budget (0 = unlimited)\n"
       "  --stats            per-run solver/SCC statistics on stderr\n"
       "  --no-stdlib        do not prepend the modelled standard library\n"
       "  --verbose          phase progress on stderr\n"
       "  --list             list registered analyses and exit\n",
-      Prog, Prog);
+      Prog, Prog, Prog);
   return 2;
 }
 
@@ -75,6 +93,8 @@ struct CliOptions {
   std::string BatchManifest;
   double BudgetMs = 0;
   uint64_t WorkBudget = ~0ULL;
+  uint64_t CacheBudget = 0;
+  bool CacheBudgetSet = false;
   unsigned Jobs = 1;
   unsigned Repeat = 1;
   bool Json = false;
@@ -82,6 +102,8 @@ struct CliOptions {
   bool NoStdlib = false;
   bool Verbose = false;
   bool List = false;
+  bool Serve = false;
+  bool Demand = false;
 };
 
 /// Accepts "--opt value" and "--opt=value".
@@ -206,12 +228,24 @@ int runBatch(const CliOptions &Cli) {
   BO.WithStdlib = !Cli.NoStdlib;
   BO.WorkBudget = Cli.WorkBudget;
   BO.TimeBudgetMs = Cli.BudgetMs;
+  BO.CacheBudgetBytes = Cli.CacheBudget;
   BatchExecutor Exec(BO);
 
   BatchReport Report;
   for (unsigned Pass = 1; Pass <= Cli.Repeat; ++Pass) {
     Report = Exec.run(Entries);
     printBatchStats(Report, Pass, Cli.Repeat);
+  }
+  if (Cli.Stats) {
+    const ResultCache &C = Exec.cache();
+    std::fprintf(stderr,
+                 "[cscpta] cache stats: hits %llu, misses %llu, evictions "
+                 "%llu, resident %llu bytes in %zu entries (budget %llu)\n",
+                 static_cast<unsigned long long>(C.hits()),
+                 static_cast<unsigned long long>(C.misses()),
+                 static_cast<unsigned long long>(C.evictions()),
+                 static_cast<unsigned long long>(C.bytesUsed()), C.size(),
+                 static_cast<unsigned long long>(C.byteBudget()));
   }
 
   if (Cli.Json) {
@@ -294,6 +328,104 @@ void appendPointsToJson(JsonWriter &J, const ResultView &View,
   J.endArray().endObject();
 }
 
+/// `--demand`: answers the --points-to queries per spec by solving only
+/// the backward slice reaching the queried variables (one slice serves
+/// every spec — it is selector-independent).
+int runDemand(const CliOptions &Cli, const AnalysisSession &S) {
+  const Program &P = S.program();
+  std::vector<std::string> Specs = splitSpecList(Cli.Analyses);
+  if (Specs.empty()) {
+    std::fprintf(stderr, "error: no analyses requested\n");
+    return 2;
+  }
+
+  PTAResult NoResult; // name lookups only touch the program
+  ResultView Names(P, NoResult);
+  std::vector<VarId> Roots;
+  for (const std::string &Q : Cli.PointsToQueries) {
+    VarId V = Names.findVar(Q);
+    if (V != InvalidId)
+      Roots.push_back(V);
+  }
+  DemandSlicer Slicer(P);
+  DemandSlicer::Slice Slice = Slicer.sliceFor(Roots);
+
+  bool AnySpecError = false, AnyExhausted = false;
+  JsonWriter J;
+  if (Cli.Json) {
+    J.beginObject().kv("tool", "cscpta").kv("demand", true);
+    J.key("slice")
+        .beginObject()
+        .kv("enabled_stmts", Slice.EnabledStmts)
+        .kv("total_stmts", P.numStmts())
+        .kv("relevant_vars", Slice.RelevantVars)
+        .endObject();
+    J.key("queries").beginArray();
+  } else {
+    std::printf("demand slice: %u/%u statements enabled, %u relevant "
+                "variables\n",
+                Slice.EnabledStmts, P.numStmts(), Slice.RelevantVars);
+  }
+
+  for (const std::string &SpecText : Specs) {
+    AnalysisRecipe Recipe;
+    std::string Error;
+    if (!AnalysisRegistry::global().build(SpecText, Recipe, Error)) {
+      std::fprintf(stderr, "error: %s\n", Error.c_str());
+      AnySpecError = true;
+      continue;
+    }
+    if (!IncrementalSolver::eligible(Recipe)) {
+      std::fprintf(stderr,
+                   "error: --demand is not available for spec '%s'\n",
+                   Recipe.Name.c_str());
+      AnySpecError = true;
+      continue;
+    }
+    IncrementalSolver::Options IO;
+    IO.WorkBudget = Cli.WorkBudget;
+    IO.TimeBudgetMs = Cli.BudgetMs;
+    IncrementalSolver Inc(P, Recipe, IO);
+    PTAResult R = Inc.demandSolve(Slice.Enabled);
+    if (R.Exhausted) {
+      std::fprintf(stderr, "error: %s: analysis budget exhausted\n",
+                   Recipe.Name.c_str());
+      AnyExhausted = true;
+      continue;
+    }
+    if (Cli.Stats)
+      std::fprintf(stderr,
+                   "[cscpta] stats %s (demand): pops %llu, pts-insertions "
+                   "%llu, pfg-edges %llu\n",
+                   Recipe.Name.c_str(),
+                   static_cast<unsigned long long>(R.Stats.WorklistPops),
+                   static_cast<unsigned long long>(R.Stats.PtsInsertions),
+                   static_cast<unsigned long long>(R.Stats.PFGEdges));
+    ResultView View(P, R);
+    if (Cli.Json) {
+      for (const std::string &Q : Cli.PointsToQueries) {
+        J.beginObject().kv("analysis", Recipe.Name).key("points_to");
+        appendPointsToJson(J, View, Q);
+        J.endObject();
+      }
+    } else {
+      std::printf("%s (demand):\n", Recipe.Name.c_str());
+      for (const std::string &Q : Cli.PointsToQueries)
+        printPointsTo(View, Q);
+    }
+  }
+
+  if (Cli.Json) {
+    J.endArray().endObject();
+    std::printf("%s\n", J.str().c_str());
+  }
+  if (AnySpecError)
+    return 1;
+  if (AnyExhausted)
+    return 3;
+  return 0;
+}
+
 } // namespace
 
 int main(int Argc, char **Argv) {
@@ -308,7 +440,24 @@ int main(int Argc, char **Argv) {
     } else if (matchesOpt(Argv[I], "--points-to")) {
       if (!takeValue(Argc, Argv, I, "--points-to", Val))
         return usage(Argv[0]);
-      Cli.PointsToQueries.push_back(Val);
+      // Comma-separable: variable names never contain commas, and one
+      // fixpoint amortizes across however many queries arrive.
+      size_t Start = 0;
+      while (Start <= Val.size()) {
+        size_t Comma = Val.find(',', Start);
+        std::string Q = Val.substr(
+            Start, Comma == std::string::npos ? Comma : Comma - Start);
+        if (!Q.empty())
+          Cli.PointsToQueries.push_back(Q);
+        if (Comma == std::string::npos)
+          break;
+        Start = Comma + 1;
+      }
+    } else if (matchesOpt(Argv[I], "--cache-budget")) {
+      if (!takeValue(Argc, Argv, I, "--cache-budget", Val) ||
+          !parseUint64Arg(Val, "--cache-budget", Cli.CacheBudget))
+        return usage(Argv[0]);
+      Cli.CacheBudgetSet = true;
     } else if (matchesOpt(Argv[I], "--budget-ms")) {
       if (!takeValue(Argc, Argv, I, "--budget-ms", Val) ||
           !parseDoubleArg(Val, "--budget-ms", Cli.BudgetMs))
@@ -330,6 +479,10 @@ int main(int Argc, char **Argv) {
         return usage(Argv[0]);
     } else if (Arg == "--json") {
       Cli.Json = true;
+    } else if (Arg == "--serve") {
+      Cli.Serve = true;
+    } else if (Arg == "--demand") {
+      Cli.Demand = true;
     } else if (Arg == "--stats") {
       Cli.Stats = true;
     } else if (Arg == "--no-stdlib") {
@@ -357,6 +510,65 @@ int main(int Argc, char **Argv) {
                 "\"ci,k-type;k=3,zipper-e;pv=0.05\"\n");
     return 0;
   }
+  if (Cli.Serve) {
+    if (!Cli.BatchManifest.empty()) {
+      std::fprintf(stderr, "error: --serve conflicts with --batch\n");
+      return usage(Argv[0]);
+    }
+    if (!Cli.PointsToQueries.empty()) {
+      std::fprintf(stderr, "error: --points-to is not available with "
+                           "--serve (send query requests instead)\n");
+      return usage(Argv[0]);
+    }
+    if (Cli.Demand) {
+      std::fprintf(stderr, "error: --demand is not available with --serve "
+                           "(send mode \"demand\" queries instead)\n");
+      return usage(Argv[0]);
+    }
+    if (Cli.Json) {
+      std::fprintf(stderr, "error: --json is not available with --serve "
+                           "(responses are always JSON)\n");
+      return usage(Argv[0]);
+    }
+    if (Cli.Repeat != 1) {
+      std::fprintf(stderr, "error: --repeat requires --batch\n");
+      return usage(Argv[0]);
+    }
+    if (Cli.CacheBudgetSet) {
+      std::fprintf(stderr, "error: --cache-budget requires --batch\n");
+      return usage(Argv[0]);
+    }
+    if (Cli.Files.empty())
+      return usage(Argv[0]);
+    AnalysisServer::Options AO;
+    AO.WithStdlib = !Cli.NoStdlib;
+    AO.WorkBudget = Cli.WorkBudget;
+    AO.TimeBudgetMs = Cli.BudgetMs;
+    if (Cli.AnalysesSet) {
+      std::vector<std::string> Specs = splitSpecList(Cli.Analyses);
+      if (Specs.size() != 1) {
+        std::fprintf(stderr,
+                     "error: --serve takes a single --analyses spec (the "
+                     "default for queries that omit \"spec\")\n");
+        return usage(Argv[0]);
+      }
+      AO.DefaultSpec = Specs.front();
+    } else {
+      AO.DefaultSpec = "ci"; // incremental/demand-capable default
+    }
+    AnalysisServer Server(AO);
+    std::vector<std::string> Diags;
+    if (!Server.loadFiles(Cli.Files, Diags)) {
+      for (const std::string &D : Diags)
+        std::fprintf(stderr, "%s\n", D.c_str());
+      return 1;
+    }
+    if (Cli.Verbose)
+      std::fprintf(stderr, "[cscpta] serving %zu file(s), default spec "
+                           "'%s'\n",
+                   Cli.Files.size(), AO.DefaultSpec.c_str());
+    return Server.serve(std::cin, std::cout);
+  }
   if (!Cli.BatchManifest.empty()) {
     if (!Cli.Files.empty()) {
       std::fprintf(stderr,
@@ -369,11 +581,9 @@ int main(int Argc, char **Argv) {
                    "error: --points-to is not available with --batch\n");
       return usage(Argv[0]);
     }
-    if (Cli.Stats) {
+    if (Cli.Demand) {
       std::fprintf(stderr,
-                   "error: --stats is not available with --batch "
-                   "(batch results are serialized without scheduling "
-                   "diagnostics)\n");
+                   "error: --demand is not available with --batch\n");
       return usage(Argv[0]);
     }
     if (Cli.AnalysesSet) {
@@ -385,6 +595,14 @@ int main(int Argc, char **Argv) {
   }
   if (Cli.Repeat != 1) {
     std::fprintf(stderr, "error: --repeat requires --batch\n");
+    return usage(Argv[0]);
+  }
+  if (Cli.CacheBudgetSet) {
+    std::fprintf(stderr, "error: --cache-budget requires --batch\n");
+    return usage(Argv[0]);
+  }
+  if (Cli.Demand && Cli.PointsToQueries.empty()) {
+    std::fprintf(stderr, "error: --demand requires --points-to\n");
     return usage(Argv[0]);
   }
   if (Cli.Files.empty())
@@ -408,6 +626,14 @@ int main(int Argc, char **Argv) {
     return 1;
   }
   const Program &P = S->program();
+
+  if (Cli.Demand) {
+    // The default spec list is "csc", which needs its plugin and cannot
+    // run restricted; default the demand path to the plugin-free "ci".
+    if (!Cli.AnalysesSet)
+      Cli.Analyses = "ci";
+    return runDemand(Cli, *S);
+  }
 
   std::vector<AnalysisRun> Runs = S->runAll(Cli.Analyses, Cli.Jobs);
   if (Runs.empty()) {
