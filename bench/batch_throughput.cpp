@@ -62,8 +62,9 @@ int emitTiers(const std::string &Dir, size_t MaxTiers,
   M.beginObject().key("entries").beginArray();
   size_t Tier = 0;
   for (const WorkloadConfig &C : scalingSuite()) {
-    if (Tier++ >= MaxTiers)
+    if (Tier >= MaxTiers)
       break;
+    ++Tier;
     std::string File = C.Name + ".jir";
     std::ofstream Out(Dir + "/" + File);
     if (!Out) {
@@ -150,8 +151,9 @@ int main(int Argc, char **Argv) {
   std::vector<BatchEntry> Entries;
   size_t Tier = 0;
   for (const WorkloadConfig &C : scalingSuite()) {
-    if (Tier++ >= MaxTiers)
+    if (Tier >= MaxTiers)
       break;
+    ++Tier;
     std::vector<std::string> Diags;
     auto P = buildWorkloadProgram(C, Diags);
     std::shared_ptr<AnalysisSession> S;

@@ -1,0 +1,65 @@
+#!/usr/bin/env bash
+# Cross-process contract of the persistent result store: uncoordinated
+# cscpta processes racing one store directory must each emit the
+# storeless aggregate byte for byte, leave only checksum-valid entries
+# behind, serve a warm repeat entirely from the store, and agree with a
+# --workers fleet. Registered with CTest as cscpta_store_concurrency;
+# tests/store/StoreConcurrencyTest.cpp covers the in-process half.
+#
+# Usage: store_concurrency.sh <path-to-cscpta> <examples-dir>
+set -euo pipefail
+
+CSCPTA=${1:?usage: store_concurrency.sh <cscpta> <examples-dir>}
+EXAMPLES=${2:?usage: store_concurrency.sh <cscpta> <examples-dir>}
+# Manifest-relative program paths resolve against the manifest's
+# directory (a temp dir here), so both arguments must be absolute.
+CSCPTA=$(cd "$(dirname "$CSCPTA")" && pwd)/$(basename "$CSCPTA")
+EXAMPLES=$(cd "$EXAMPLES" && pwd)
+
+TMP=$(mktemp -d)
+trap 'rm -rf "$TMP"' EXIT
+
+# Six runs, no duplicate (program, spec) pairs — every task is a store
+# interaction, so the warm pass must report served 6/6.
+cat > "$TMP/manifest.json" <<EOF
+{
+  "entries": [
+    { "label": "figure1", "program": "$EXAMPLES/figure1.jir",
+      "specs": ["ci", "csc", "2obj"] },
+    { "label": "containers", "program": "$EXAMPLES/containers.jir",
+      "specs": ["ci", "csc", "2obj"] }
+  ]
+}
+EOF
+
+# The storeless oracle every store-assisted pass must reproduce.
+"$CSCPTA" --batch "$TMP/manifest.json" --json > "$TMP/ref.json"
+
+# Two uncoordinated processes race one cold store.
+"$CSCPTA" --batch "$TMP/manifest.json" --json \
+  --store "$TMP/store" > "$TMP/a.json" &
+PID_A=$!
+"$CSCPTA" --batch "$TMP/manifest.json" --json \
+  --store "$TMP/store" > "$TMP/b.json" &
+PID_B=$!
+wait "$PID_A"
+wait "$PID_B"
+cmp "$TMP/ref.json" "$TMP/a.json"
+cmp "$TMP/ref.json" "$TMP/b.json"
+
+# Only checksum-valid entries may survive the race.
+"$CSCPTA" --scrub --store "$TMP/store" | tee "$TMP/scrub.txt"
+grep -q ", 0 corrupt" "$TMP/scrub.txt"
+
+# Warm repeat: byte-identical and fully store-served.
+"$CSCPTA" --batch "$TMP/manifest.json" --json --store "$TMP/store" \
+  --stats > "$TMP/warm.json" 2> "$TMP/warm.log"
+cmp "$TMP/ref.json" "$TMP/warm.json"
+grep -q "store stats: served 6/6 runs" "$TMP/warm.log"
+
+# A worker fleet over a fresh store agrees with everything above.
+"$CSCPTA" --batch "$TMP/manifest.json" --json --store "$TMP/store2" \
+  --workers 2 > "$TMP/fleet.json"
+cmp "$TMP/ref.json" "$TMP/fleet.json"
+
+echo "store_concurrency: OK"

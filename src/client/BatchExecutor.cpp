@@ -8,6 +8,7 @@
 
 #include "client/Report.h"
 #include "ir/Printer.h"
+#include "store/ResultStore.h"
 #include "support/JsonParse.h"
 #include "support/ThreadPool.h"
 #include "support/Timer.h"
@@ -16,6 +17,11 @@
 #include <cstdio>
 #include <fstream>
 #include <sstream>
+
+#ifndef _WIN32
+#include <sys/wait.h>
+#include <unistd.h>
+#endif
 
 using namespace csc;
 
@@ -311,10 +317,19 @@ std::string BatchReport::aggregateJson() const {
       continue;
     }
     J.kv("ok", true);
-    J.key("program").raw(E.ProgramJson);
+    // A fully skipped entry (sharded run) never loads its program.
+    if (E.ProgramJson.empty())
+      J.key("program").raw("null");
+    else
+      J.key("program").raw(E.ProgramJson);
     J.key("runs").beginArray();
-    for (const BatchRunResult &R : E.Runs)
-      J.raw(R.RunJson);
+    for (const BatchRunResult &R : E.Runs) {
+      if (R.Skipped)
+        J.beginObject().kv("analysis", R.Spec).kv("skipped", true)
+            .endObject();
+      else
+        J.raw(R.RunJson);
+    }
     J.endArray();
     J.endObject();
   }
@@ -373,6 +388,8 @@ void BatchExecutor::loadSlot(ProgramSlot &Slot, const BatchEntry &E) {
   if (!Slot.S)
     return;
   Slot.Fingerprint = programFingerprint(Slot.S->program());
+  if (Opts.Store)
+    Slot.RegistryFp = registryFingerprint(Slot.S->registry());
   JsonWriter J;
   appendProgramSummaryJson(J, Slot.S->program());
   Slot.ProgramJson = J.take();
@@ -420,6 +437,30 @@ void BatchExecutor::runSpec(ProgramSlot &Slot, const std::string &Spec,
     }
   }
 
+  // L1 miss: consult the persistent store before solving. A hit also
+  // populates the in-process cache so repeats stay off the disk.
+  std::string SKey;
+  if (HaveCanon && Opts.Store) {
+    const AnalysisSession::Options &SO = Slot.S->options();
+    SKey = resultStoreKey(Slot.Fingerprint, SO.WorkBudget, SO.TimeBudgetMs,
+                          Slot.RegistryFp, Out.Canonical);
+    StoredResult SR;
+    if (Opts.Store->lookup(SKey, SR)) {
+      Out.FromStore = true;
+      Out.Status = SR.Status;
+      Out.Error = SR.Error;
+      Out.Metrics = SR.Metrics;
+      Out.RunJson = SR.RunJson;
+      Out.WallMs = T.elapsedMs();
+      V.Status = SR.Status;
+      V.Error = SR.Error;
+      V.Metrics = SR.Metrics;
+      V.RunJson = SR.RunJson;
+      Cache.store(Key, std::move(V));
+      return;
+    }
+  }
+
   // Miss (or an unparsable spec, which the session turns into a
   // SpecError run with the same diagnostic): compute, then publish.
   AnalysisRun R = Slot.S->run(Spec);
@@ -449,12 +490,20 @@ void BatchExecutor::runSpec(ProgramSlot &Slot, const std::string &Spec,
     V.Metrics = R.Metrics;
     V.RunJson = Out.RunJson;
     Cache.store(Key, std::move(V));
+    // Publish to the persistent store under the same cacheability rule,
+    // except spec errors: they carry no result and cost nothing to
+    // rediagnose, so the store keeps only completed analyses.
+    if (Opts.Store && !SKey.empty() && R.Status != RunStatus::SpecError)
+      Opts.Store->publish(SKey, storedFromRun(R, Out.RunJson));
   }
 }
 
 BatchReport BatchExecutor::run(const std::vector<BatchEntry> &Entries) {
   Timer Wall;
   uint64_t Hits0 = Cache.hits(), Misses0 = Cache.misses();
+  ResultStore::Counters Store0;
+  if (Opts.Store)
+    Store0 = Opts.Store->counters();
 
   BatchReport Report;
   Report.Jobs = std::max(1u, Opts.Jobs);
@@ -488,28 +537,51 @@ BatchReport BatchExecutor::run(const std::vector<BatchEntry> &Entries) {
             Report.Entries[EntryIdx].Runs[SpecIdx]);
   };
 
+  // Select this shard's tasks. Spec tasks are numbered in manifest order
+  // (the same numbering in every process over one manifest, which is
+  // what partitions a worker fleet); skipped tasks are recorded, and
+  // load-only entries are skipped entirely in shard mode — a worker has
+  // no use for a load outcome it will not report.
+  unsigned ShardCount = std::max(1u, Opts.ShardCount);
+  unsigned ShardIndex = Opts.ShardIndex % ShardCount;
+  std::vector<std::pair<size_t, size_t>> Tasks;
+  std::vector<bool> Attempted(Entries.size(), false);
+  size_t Linear = 0;
+  for (size_t E = 0; E != Entries.size(); ++E) {
+    if (Entries[E].Specs.empty()) {
+      if (ShardCount == 1) {
+        Tasks.emplace_back(E, LoadOnly);
+        Attempted[E] = true;
+      }
+      continue;
+    }
+    for (size_t S = 0; S != Entries[E].Specs.size(); ++S) {
+      if (Linear++ % ShardCount == ShardIndex) {
+        Tasks.emplace_back(E, S);
+        Attempted[E] = true;
+      } else {
+        Report.Entries[E].Runs[S].Spec = Entries[E].Specs[S];
+        Report.Entries[E].Runs[S].Skipped = true;
+      }
+    }
+  }
+
   if (Report.Jobs <= 1) {
-    for (size_t E = 0; E != Entries.size(); ++E)
-      if (Entries[E].Specs.empty())
-        RunTask(E, LoadOnly);
-      else
-        for (size_t S = 0; S != Entries[E].Specs.size(); ++S)
-          RunTask(E, S);
+    for (const auto &[E, S] : Tasks)
+      RunTask(E, S);
   } else {
     ThreadPool Pool(Report.Jobs);
-    for (size_t E = 0; E != Entries.size(); ++E)
-      if (Entries[E].Specs.empty())
-        Pool.submit(
-            [&RunTask, E] { RunTask(E, static_cast<size_t>(-1)); });
-      else
-        for (size_t S = 0; S != Entries[E].Specs.size(); ++S)
-          Pool.submit([&RunTask, E, S] { RunTask(E, S); });
+    for (const auto &[E, S] : Tasks)
+      Pool.submit([&RunTask, E = E, S = S] { RunTask(E, S); });
     Pool.wait();
   }
 
   // Sequence load outcomes (deterministic: slot diags don't depend on
-  // which task loaded the program).
+  // which task loaded the program). Entries this shard never touched
+  // keep their default state — all-skipped runs, no load verdict.
   for (size_t I = 0; I != Entries.size(); ++I) {
+    if (!Attempted[I])
+      continue;
     ProgramSlot &Slot = *EntrySlots[I];
     if (!Slot.S) {
       Report.Entries[I].LoadFailed = true;
@@ -523,5 +595,81 @@ BatchReport BatchExecutor::run(const std::vector<BatchEntry> &Entries) {
   Report.WallMs = Wall.elapsedMs();
   Report.CacheHits = Cache.hits() - Hits0;
   Report.CacheMisses = Cache.misses() - Misses0;
+  if (Opts.Store) {
+    ResultStore::Counters Store1 = Opts.Store->counters();
+    Report.StoreHits = Store1.Hits - Store0.Hits;
+    Report.StoreMisses = Store1.Misses - Store0.Misses;
+  }
   return Report;
+}
+
+//===----------------------------------------------------------------------===//
+// Worker fleet
+//===----------------------------------------------------------------------===//
+
+unsigned csc::runWorkerFleet(const WorkerFleetOptions &O) {
+  unsigned Workers = std::max(1u, O.Workers);
+#ifndef _WIN32
+  unsigned Failures = 0;
+  std::vector<pid_t> Pids;
+  for (unsigned W = 0; W != Workers; ++W) {
+    std::vector<std::string> Args;
+    Args.push_back(O.Exe);
+    Args.push_back("--batch");
+    Args.push_back(O.ManifestPath);
+    Args.push_back("--store");
+    Args.push_back(O.StoreDir);
+    char Shard[48];
+    std::snprintf(Shard, sizeof(Shard), "%u/%u", W, Workers);
+    Args.push_back("--worker-shard");
+    Args.push_back(Shard);
+    Args.push_back("--jobs");
+    Args.push_back(std::to_string(std::max(1u, O.Jobs)));
+    if (!O.WithStdlib)
+      Args.push_back("--no-stdlib");
+    if (O.WorkBudget != ~0ULL) {
+      Args.push_back("--work-budget");
+      Args.push_back(std::to_string(O.WorkBudget));
+    }
+    if (O.TimeBudgetMs > 0) {
+      char Budget[40];
+      std::snprintf(Budget, sizeof(Budget), "%.17g", O.TimeBudgetMs);
+      Args.push_back("--budget-ms");
+      Args.push_back(Budget);
+    }
+    if (O.Verbose)
+      Args.push_back("--stats");
+
+    pid_t Pid = ::fork();
+    if (Pid == 0) {
+      std::vector<char *> Argv;
+      Argv.reserve(Args.size() + 1);
+      for (std::string &A : Args)
+        Argv.push_back(&A[0]);
+      Argv.push_back(nullptr);
+      ::execv(O.Exe.c_str(), Argv.data());
+      _exit(127); // exec failed; the parent counts the failure
+    }
+    if (Pid < 0) {
+      ++Failures; // fork failed: the coordinator computes this shard
+      continue;
+    }
+    Pids.push_back(Pid);
+  }
+  for (pid_t Pid : Pids) {
+    int St = 0;
+    if (::waitpid(Pid, &St, 0) < 0) {
+      ++Failures;
+      continue;
+    }
+    // Exit 3 (budget exhausted) is a clean outcome: the worker ran and
+    // published what it could.
+    if (!WIFEXITED(St) ||
+        (WEXITSTATUS(St) != 0 && WEXITSTATUS(St) != 3))
+      ++Failures;
+  }
+  return Failures;
+#else
+  return Workers; // no fork/exec: the caller computes everything itself
+#endif
 }

@@ -46,6 +46,8 @@
 
 namespace csc {
 
+class ResultStore;
+
 /// 64-bit FNV-1a hash over the printed program — the program half of the
 /// result-cache key. Two programs with identical IR content (regardless
 /// of how they were built: files, inline source, IRBuilder) fingerprint
@@ -141,7 +143,11 @@ struct BatchRunResult {
   std::string Error;
   PrecisionMetrics Metrics; ///< Valid only when Status == Completed.
   double WallMs = 0;     ///< This task's wall time (~0 on a cache hit).
-  bool FromCache = false;
+  bool FromCache = false; ///< Served by the in-process result cache.
+  bool FromStore = false; ///< Served by the persistent result store.
+  /// True when a sharded run (Options::ShardCount > 1) assigned this
+  /// task to another worker: nothing was computed and RunJson is empty.
+  bool Skipped = false;
   std::string RunJson; ///< Deterministic per-run report.
 };
 
@@ -163,6 +169,8 @@ struct BatchReport {
   double WallMs = 0;        ///< Whole-batch wall time.
   uint64_t CacheHits = 0;   ///< Result-cache hits during this run.
   uint64_t CacheMisses = 0; ///< Result-cache misses during this run.
+  uint64_t StoreHits = 0;   ///< Persistent-store hits during this run.
+  uint64_t StoreMisses = 0; ///< Persistent-store misses during this run.
 
   bool anyLoadFailed() const;
   bool anySpecError() const;
@@ -186,6 +194,16 @@ public:
     double TimeBudgetMs = 0;     ///< Per-run wall budget (0 = unlimited).
     /// Result-cache byte budget (ResultCache::setByteBudget); 0 = unlimited.
     uint64_t CacheBudgetBytes = 0;
+    /// Optional persistent L2 under the in-process cache: misses consult
+    /// the store before computing, and cacheable computed results are
+    /// published back. Shared freely across executors and processes.
+    std::shared_ptr<ResultStore> Store;
+    /// Shard selection for multi-process batch splitting: this executor
+    /// runs only the (entry, spec) tasks whose position in manifest
+    /// order satisfies `index % ShardCount == ShardIndex`; the rest are
+    /// marked Skipped. ShardCount <= 1 runs everything (the default).
+    unsigned ShardIndex = 0;
+    unsigned ShardCount = 1;
   };
 
   BatchExecutor() = default;
@@ -213,6 +231,7 @@ private:
     std::once_flag Once;
     std::shared_ptr<AnalysisSession> S;
     uint64_t Fingerprint = 0;
+    uint64_t RegistryFp = 0; ///< Store-key half; set when a store is on.
     std::vector<std::string> Diags;
     std::string ProgramJson;
   };
@@ -229,6 +248,30 @@ private:
   // is neither movable nor copyable.
   std::deque<ProgramSlot> Slots;
 };
+
+/// How to spawn a fleet of cscpta worker processes over one manifest.
+/// Each worker runs `Exe --batch Manifest --store StoreDir
+/// --worker-shard k/N ...`, computing its shard and publishing every
+/// result into the shared store; the caller then re-runs the batch
+/// locally against the warm store to produce the authoritative report.
+struct WorkerFleetOptions {
+  std::string Exe; ///< cscpta binary to exec (e.g. /proc/self/exe).
+  std::string ManifestPath;
+  std::string StoreDir;
+  unsigned Workers = 2;
+  unsigned Jobs = 1; ///< --jobs forwarded to each worker.
+  bool WithStdlib = true;
+  uint64_t WorkBudget = ~0ULL;
+  double TimeBudgetMs = 0;
+  bool Verbose = false; ///< Let workers keep their stderr statistics.
+};
+
+/// Forks and waits for the whole fleet. Returns the number of workers
+/// that failed abnormally (0 = all clean; budget-exhausted exits count
+/// as clean) — the caller computes whatever failed workers left behind,
+/// so failures degrade to lost parallelism, never lost results. Always
+/// fails everything on non-POSIX hosts.
+unsigned runWorkerFleet(const WorkerFleetOptions &O);
 
 } // namespace csc
 

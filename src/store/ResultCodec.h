@@ -1,0 +1,87 @@
+//===- ResultCodec.h - Binary (de)serialization of analysis runs -*- C++ -*-===//
+//
+// Part of the Cut-Shortcut pointer analysis reproduction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The value format of the persistent result store: a completed analysis
+/// run — PTAResult, precision metrics, per-analysis extras, and the
+/// timing-free run report — encoded to bytes and back.
+///
+/// The encoding is canonical: unordered containers are written in sorted
+/// key order and points-to sets as ascending id lists, so serializing a
+/// result, deserializing it, and serializing again yields byte-identical
+/// output (the round-trip property tests/store/ResultCodecTest.cpp pins).
+/// Canonical bytes are what make content checksums meaningful — two
+/// equal results can never disagree about their serialized form.
+///
+/// Deserialization is bounds-checked end to end and returns false on any
+/// malformed input; it never crashes and never fabricates partial
+/// results. The store validates checksums before decoding, so a decode
+/// failure there means a format-version mismatch, and the entry degrades
+/// to a miss.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CSC_STORE_RESULTCODEC_H
+#define CSC_STORE_RESULTCODEC_H
+
+#include "client/AnalysisSession.h"
+#include "support/BinaryIO.h"
+
+#include <string>
+#include <vector>
+
+namespace csc {
+
+/// Everything the store keeps per (program, spec, budgets) key: enough to
+/// reconstruct both a batch report row (RunJson + metrics) and a full
+/// AnalysisRun for single-run and server clients (result + extras).
+struct StoredResult {
+  RunStatus Status = RunStatus::Completed;
+  std::string Error; ///< Populated for SpecError (never stored today).
+  PrecisionMetrics Metrics;
+  /// Timing-free run report under the canonical spec name
+  /// (appendRunJson with IncludeTimings=false) — spliced verbatim into
+  /// batch aggregates, which is what makes a store-served batch
+  /// byte-identical to a computed one.
+  std::string RunJson;
+  uint32_t SelectedMethods = 0; ///< Zipper-e selection size.
+  uint64_t CutStores = 0;       ///< Cut-Shortcut statistics.
+  uint64_t CutReturns = 0;
+  uint64_t ShortcutEdges = 0;
+  std::vector<MethodId> InvolvedMethods; ///< Sorted ascending.
+  PTAResult Result;
+};
+
+/// Appends the canonical encoding of \p R to \p W.
+void serializePTAResult(const PTAResult &R, BinaryWriter &W);
+
+/// Decodes one PTAResult; false on malformed/truncated input (\p Out is
+/// then unspecified). Consumes exactly what serializePTAResult wrote.
+bool deserializePTAResult(BinaryReader &R, PTAResult &Out);
+
+/// Deep equality of two results — every projection map, callee list,
+/// reachable set, and serialized counter. Scheduling diagnostics
+/// (WorklistPops, SccStats) and TimeMs are included: the codec stores
+/// them, so a round trip must preserve them bit-for-bit too.
+bool resultsEqual(const PTAResult &A, const PTAResult &B);
+
+/// One StoredResult as a standalone byte string / parsed back. The store
+/// checksums and frames these bytes; the codec itself has no header.
+std::string serializeStoredResult(const StoredResult &S);
+bool deserializeStoredResult(const std::string &Bytes, StoredResult &Out);
+
+/// Converts a computed run into its stored form. \p RunJson must be the
+/// timing-free report serialized under the canonical spec name.
+StoredResult storedFromRun(const AnalysisRun &Run, std::string RunJson);
+
+/// Reconstructs an AnalysisRun from a stored value. Name and Timings are
+/// left defaulted — the caller sets the display name (the original spec
+/// spelling) and charges the store-load wall time.
+AnalysisRun runFromStored(const StoredResult &S);
+
+} // namespace csc
+
+#endif // CSC_STORE_RESULTCODEC_H

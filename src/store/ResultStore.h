@@ -1,0 +1,174 @@
+//===- ResultStore.h - Persistent content-addressed result cache -*- C++ -*-===//
+//
+// Part of the Cut-Shortcut pointer analysis reproduction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// An on-disk, content-addressed cache of completed analysis results —
+/// the L2 layer under the in-process ResultCache LRU. Keys fingerprint
+/// everything a result depends on (program content, canonical spec,
+/// budgets, registry identity — see resultStoreKey); values are
+/// checksummed binary StoredResult entries (store/ResultCodec.h).
+///
+/// Layout under the store directory:
+///
+///   objects/<fnv64(key) as 16 hex>.csce   one entry per key
+///   index.bin                             validated manifest of entries
+///   store.lock                            advisory flock for index writes
+///
+/// Entry file format: 8-byte magic, u32 format version, u64 FNV-1a body
+/// checksum, body (u32 key length + key bytes, u64 payload length,
+/// payload). The full key is embedded and compared on every lookup, so a
+/// key-hash collision is a plain miss, never a wrong answer.
+///
+/// Failure discipline — the store may only ever make things slower,
+/// never wrong, and never crash:
+///
+///  * Every lookup re-validates the entry file end to end (magic,
+///    version, checksum, key, decode). Any mismatch is a miss, counted
+///    as a corrupt eviction, and (with Options::Repair, the default) the
+///    bad file is unlinked so the next publish heals it.
+///  * Publishes are atomic: the entry is written to a temp file in the
+///    same directory and rename()d into place, so concurrent readers and
+///    writers — including other processes — see either the old complete
+///    entry or the new complete entry, never a partial write. Racing
+///    publishers of one key write identical bytes by construction (the
+///    key fingerprints the inputs), so last-rename-wins is harmless.
+///  * The index is a manifest, not an authority: lookups trust only the
+///    entry files. A missing/corrupt index triggers a rebuild — a full
+///    directory sweep that validates every entry (evicting corrupt ones)
+///    and rewrites the manifest under the advisory lock.
+///  * An unusable directory (not creatable/writable) degrades the whole
+///    store to a no-op: usable() turns false, lookups miss, publishes
+///    fail silently into counters.
+///
+/// Thread-safety: one ResultStore handle is fully thread-safe (a single
+/// internal mutex). Any number of handles — in one process or many — may
+/// share a directory; cross-process index updates serialize on flock().
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CSC_STORE_RESULTSTORE_H
+#define CSC_STORE_RESULTSTORE_H
+
+#include "store/ResultCodec.h"
+
+#include <map>
+#include <mutex>
+#include <string>
+
+namespace csc {
+
+class AnalysisRegistry;
+
+/// FNV-1a fingerprint of a registry's identity — the sorted (name,
+/// description) listing. Two processes resolve a spec identically when
+/// their registries fingerprint identically (adding, removing, or
+/// redefining an analysis changes the value), which is what makes the
+/// fingerprint a safe cross-process stand-in for the in-process
+/// registry-address component of the L1 cache key.
+uint64_t registryFingerprint(const AnalysisRegistry &R);
+
+/// Composes the portable store key for one (program, spec, budgets)
+/// request. \p CanonicalSpec must already be alias-resolved and
+/// canonicalized (AnalysisRegistry::resolveName + canonicalSpec), exactly
+/// as the batch executor's L1 key does.
+std::string resultStoreKey(uint64_t ProgramFingerprint,
+                           uint64_t WorkBudget, double TimeBudgetMs,
+                           uint64_t RegistryFingerprint,
+                           const std::string &CanonicalSpec);
+
+class ResultStore {
+public:
+  struct Options {
+    std::string Dir; ///< Store directory; created if absent.
+    /// Unlink entries that fail validation and rebuild the index when it
+    /// does — the self-repair mode. Off, corrupt files are left in place
+    /// (still misses) for post-mortem inspection.
+    bool Repair = true;
+  };
+
+  /// Monotonic per-handle statistics (never persisted).
+  struct Counters {
+    uint64_t Hits = 0;
+    uint64_t Misses = 0;
+    uint64_t Publishes = 0;
+    uint64_t PublishFailures = 0;
+    uint64_t CorruptEvictions = 0; ///< Entries failing validation.
+    uint64_t IndexRebuilds = 0;    ///< Invalid-index recovery sweeps.
+  };
+
+  /// One full-store validation sweep's outcome.
+  struct ScrubReport {
+    uint64_t Valid = 0;
+    uint64_t Corrupt = 0; ///< Failed validation (evicted under Repair).
+    uint64_t Bytes = 0;   ///< Total size of the valid entries.
+  };
+
+  /// Opens (creating if needed) the store at Options::Dir and loads the
+  /// index, rebuilding it when invalid. Never throws: an unusable
+  /// directory leaves the handle in the degraded no-op state.
+  explicit ResultStore(Options O);
+
+  /// False when the directory could not be created/used; error() says
+  /// why. A degraded store misses every lookup and drops every publish.
+  bool usable() const;
+  const std::string &error() const { return Err; }
+  const Options &options() const { return Opts; }
+
+  /// True (filling \p Out) when a fully validated entry for \p Key
+  /// exists. Any validation failure is a miss; corrupt entries are
+  /// counted and, under Repair, unlinked.
+  bool lookup(const std::string &Key, StoredResult &Out);
+
+  /// Atomically writes the entry for \p Key and records it in the index.
+  /// False (counted) on I/O failure. An existing valid entry is left
+  /// untouched — identical bytes by construction.
+  bool publish(const std::string &Key, const StoredResult &Value);
+
+  /// Validates every entry in the directory (evicting corrupt ones under
+  /// Repair) and rewrites the index from the survivors.
+  ScrubReport scrub();
+
+  Counters counters() const;
+
+private:
+  struct IndexRecord {
+    std::string File; ///< Basename under objects/.
+    uint64_t Checksum = 0;
+    uint64_t Bytes = 0;
+  };
+
+  std::string objectPath(const std::string &Key) const;
+  /// Reads + fully validates one entry file. Returns 0 on a valid entry
+  /// (key + payload out), 1 when the file is absent (plain miss), 2 on
+  /// corruption (caller counts/evicts), 3 on a key-hash collision (valid
+  /// entry for some other key: plain miss, never evicted).
+  int readEntry(const std::string &Path, const std::string &ExpectKey,
+                std::string &KeyOut, std::string &PayloadOut,
+                uint64_t &ChecksumOut) const;
+  void evictLocked(const std::string &Path, const std::string &Key);
+  ScrubReport sweepLocked();
+  bool loadIndexLocked();
+  bool writeIndexLocked() const;
+  void mergeIndexOnDiskLocked(const std::string &Key,
+                              const IndexRecord &Rec);
+  bool parseIndexBytes(const std::string &Bytes,
+                       std::map<std::string, IndexRecord> &Out) const;
+  std::string indexBytesLocked(
+      const std::map<std::string, IndexRecord> &Records) const;
+  bool writeFileAtomic(const std::string &FinalPath,
+                       const std::string &Bytes) const;
+
+  Options Opts;
+  std::string Err; ///< Non-empty when the store is degraded.
+  mutable std::mutex M;
+  std::map<std::string, IndexRecord> Index; ///< Key -> manifest record.
+  Counters Stats;
+  mutable uint64_t TempSeq = 0; ///< Uniquifies temp names in the handle.
+};
+
+} // namespace csc
+
+#endif // CSC_STORE_RESULTSTORE_H

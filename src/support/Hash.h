@@ -26,6 +26,21 @@ inline void hashCombine(size_t &Seed, size_t Value) {
   Seed ^= Value + 0x9e3779b97f4a7c15ULL + (Seed << 6) + (Seed >> 2);
 }
 
+/// 64-bit FNV-1a over a byte range. Process-independent by construction
+/// (fixed offset basis and prime, no seeding) — the program fingerprint,
+/// the persistent result store's entry checksums, and the store's key
+/// hashing all rely on it producing the same value in every process.
+inline uint64_t fnv1a64(const void *Data, size_t Size,
+                        uint64_t Seed = 1469598103934665603ULL) {
+  const unsigned char *P = static_cast<const unsigned char *>(Data);
+  uint64_t H = Seed;
+  for (size_t I = 0; I != Size; ++I) {
+    H ^= P[I];
+    H *= 1099511628211ULL;
+  }
+  return H;
+}
+
 /// Number of trailing zero bits of \p Word (C++17-portable stand-in for
 /// std::countr_zero, including its zero-input contract of 64).
 inline unsigned countTrailingZeros(uint64_t Word) {

@@ -1,0 +1,221 @@
+//===- ResultCodecTest.cpp - Binary round-trip property tests -------------===//
+//
+// Part of the Cut-Shortcut pointer analysis reproduction.
+//
+//===----------------------------------------------------------------------===//
+//
+// The persistent store is only as trustworthy as its codec, so this suite
+// pins the round-trip property the store's checksums assume: for every
+// registered analysis over every example program (plus the differential
+// fuzzer's seeded workloads), serialize -> deserialize -> deep-equal, and
+// re-serializing the reconstruction yields byte-identical output. It also
+// pins the report property warm batches rely on — a run rebuilt from its
+// stored form re-serializes to the exact RunJson that was stored — and
+// that truncated byte strings always fail to decode instead of crashing
+// or fabricating a partial result.
+//
+//===----------------------------------------------------------------------===//
+
+#include "client/AnalysisRegistry.h"
+#include "client/AnalysisSession.h"
+#include "client/Report.h"
+#include "store/ResultCodec.h"
+#include "support/Rng.h"
+#include "workload/Workload.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+using namespace csc;
+
+namespace {
+
+std::string examplePath(const char *Name) {
+  return std::string(CSC_EXAMPLES_DIR) + "/" + Name;
+}
+
+/// The same knob derivation as tests/fuzz/DifferentialFuzzTest.cpp: one
+/// seed fully determines a workload, so codec coverage rides on programs
+/// already known to exercise weird solver topologies.
+WorkloadConfig fuzzConfig(uint64_t Seed) {
+  Rng R(Seed * 0x9e3779b97f4a7c15ULL + 1);
+  WorkloadConfig C;
+  C.Name = "codec-fuzz-" + std::to_string(Seed);
+  C.Seed = Seed;
+  C.NumEntityClasses = 4 + R.nextInRange(8);
+  C.WrapperDepth = 1 + R.nextInRange(3);
+  C.NumFamilies = 2 + R.nextInRange(4);
+  C.FamilySize = 2 + R.nextInRange(3);
+  C.NumSelectors = 2 + R.nextInRange(3);
+  C.NumScenarios = 3 + R.nextInRange(4);
+  C.ActionsPerScenario = 6 + R.nextInRange(8);
+  C.FieldDensity = 1 + R.nextInRange(3);
+  C.CallChainDepth = R.nextInRange(4);
+  C.ContainerMixPct = R.nextInRange(40);
+  C.NumSharedHubs = R.nextInRange(3);
+  C.HubMixPct = 5 + R.nextInRange(20);
+  C.CopyCycleLen = R.nextBool(0.7) ? 2 + R.nextInRange(5) : 0;
+  C.BombDepth = R.nextBool(0.5) ? 2 + R.nextInRange(2) : 0;
+  C.BombWidth = C.BombDepth ? 2 + R.nextInRange(2) : 0;
+  C.BombMultiClass = R.nextBool();
+  return C;
+}
+
+/// Canonicalizes \p Spec exactly as the batch executor keys the store.
+std::string canonicalOf(const AnalysisSession &S, const std::string &Spec) {
+  AnalysisSpec Parsed;
+  std::string Error;
+  EXPECT_TRUE(parseAnalysisSpec(Spec, Parsed, Error)) << Error;
+  Parsed.Name = S.registry().resolveName(Parsed.Name);
+  return canonicalSpec(Parsed);
+}
+
+/// Runs \p Spec and converts the outcome to its stored form, with the
+/// RunJson serialized timing-free under the canonical name — the exact
+/// bytes every store client publishes.
+StoredResult storedOf(AnalysisSession &S, const std::string &Spec,
+                      AnalysisRun *RunOut = nullptr) {
+  AnalysisRun Run = S.run(Spec);
+  EXPECT_EQ(Run.Status, RunStatus::Completed)
+      << Spec << ": " << Run.Error;
+  Run.Name = canonicalOf(S, Spec);
+  JsonWriter J;
+  appendRunJson(J, Run, /*IncludeTimings=*/false);
+  StoredResult Stored = storedFromRun(Run, J.take());
+  if (RunOut)
+    *RunOut = std::move(Run);
+  return Stored;
+}
+
+/// The round-trip property: decode succeeds, every field survives, and
+/// the reconstruction re-serializes to the identical bytes.
+void expectRoundTrip(const StoredResult &S, const std::string &Label) {
+  std::string Bytes = serializeStoredResult(S);
+  ASSERT_FALSE(Bytes.empty()) << Label;
+  StoredResult D;
+  ASSERT_TRUE(deserializeStoredResult(Bytes, D)) << Label;
+  EXPECT_EQ(D.Status, S.Status) << Label;
+  EXPECT_EQ(D.Error, S.Error) << Label;
+  EXPECT_EQ(D.RunJson, S.RunJson) << Label;
+  EXPECT_EQ(D.SelectedMethods, S.SelectedMethods) << Label;
+  EXPECT_EQ(D.CutStores, S.CutStores) << Label;
+  EXPECT_EQ(D.CutReturns, S.CutReturns) << Label;
+  EXPECT_EQ(D.ShortcutEdges, S.ShortcutEdges) << Label;
+  EXPECT_EQ(D.InvolvedMethods, S.InvolvedMethods) << Label;
+  EXPECT_EQ(D.Metrics.FailCasts, S.Metrics.FailCasts) << Label;
+  EXPECT_EQ(D.Metrics.ReachMethods, S.Metrics.ReachMethods) << Label;
+  EXPECT_EQ(D.Metrics.PolyCalls, S.Metrics.PolyCalls) << Label;
+  EXPECT_EQ(D.Metrics.CallEdges, S.Metrics.CallEdges) << Label;
+  EXPECT_TRUE(resultsEqual(D.Result, S.Result)) << Label;
+  EXPECT_EQ(serializeStoredResult(D), Bytes)
+      << Label << ": re-serialization is not byte-identical";
+}
+
+/// Every strict prefix of a valid encoding must fail to decode, and so
+/// must the encoding with trailing garbage (the codec demands atEnd).
+void expectPrefixSafety(const std::string &Bytes, const std::string &Label) {
+  // Dense sweep near both ends, sampled stride through the middle: the
+  // interesting cuts are header boundaries and the final length checks.
+  size_t Stride = std::max<size_t>(1, Bytes.size() / 97);
+  for (size_t Cut = 0; Cut < Bytes.size();
+       Cut += (Cut < 64 || Cut + 64 > Bytes.size()) ? 1 : Stride) {
+    StoredResult D;
+    EXPECT_FALSE(deserializeStoredResult(Bytes.substr(0, Cut), D))
+        << Label << ": truncation at byte " << Cut << " decoded";
+  }
+  StoredResult D;
+  EXPECT_FALSE(deserializeStoredResult(Bytes + '\0', D))
+      << Label << ": trailing garbage decoded";
+}
+
+} // namespace
+
+TEST(ResultCodecTest, EverySpecOverEveryExampleRoundTrips) {
+  for (const char *Example : {"figure1.jir", "containers.jir"}) {
+    std::vector<std::string> Diags;
+    std::unique_ptr<AnalysisSession> S =
+        AnalysisSession::fromFiles({examplePath(Example)}, {}, Diags);
+    for (const std::string &D : Diags)
+      ADD_FAILURE() << Example << ": " << D;
+    ASSERT_NE(S, nullptr);
+    for (const auto &[Name, Desc] : AnalysisRegistry::global().list()) {
+      (void)Desc;
+      std::string Label = std::string(Example) + "/" + Name;
+      expectRoundTrip(storedOf(*S, Name), Label);
+    }
+  }
+}
+
+TEST(ResultCodecTest, FuzzWorkloadsRoundTrip) {
+  for (uint64_t Seed : {11ULL, 23ULL, 37ULL, 59ULL, 71ULL, 97ULL, 113ULL,
+                        131ULL}) {
+    std::vector<std::string> Diags;
+    auto P = buildWorkloadProgram(fuzzConfig(Seed), Diags);
+    for (const std::string &D : Diags)
+      ADD_FAILURE() << "seed " << Seed << ": " << D;
+    ASSERT_NE(P, nullptr);
+    AnalysisSession S(*P);
+    for (const char *Spec : {"ci", "csc", "2obj"}) {
+      std::string Label =
+          std::string(Spec) + "/seed" + std::to_string(Seed);
+      expectRoundTrip(storedOf(S, Spec), Label);
+    }
+  }
+}
+
+TEST(ResultCodecTest, ReconstructedRunReserializesToStoredReport) {
+  // A warm batch splices the stored RunJson verbatim; a warm single run
+  // rebuilds the AnalysisRun and re-serializes it. Both paths must agree:
+  // appendRunJson over the reconstruction == the stored bytes.
+  std::vector<std::string> Diags;
+  std::unique_ptr<AnalysisSession> S = AnalysisSession::fromFiles(
+      {examplePath("figure1.jir")}, {}, Diags);
+  ASSERT_NE(S, nullptr);
+  for (const auto &[Name, Desc] : AnalysisRegistry::global().list()) {
+    (void)Desc;
+    StoredResult Stored = storedOf(*S, Name);
+    AnalysisRun Rebuilt = runFromStored(Stored);
+    Rebuilt.Name = canonicalOf(*S, Name);
+    JsonWriter J;
+    appendRunJson(J, Rebuilt, /*IncludeTimings=*/false);
+    EXPECT_EQ(J.take(), Stored.RunJson) << Name;
+  }
+}
+
+TEST(ResultCodecTest, TruncatedAndPaddedBytesNeverDecode) {
+  std::vector<std::string> Diags;
+  std::unique_ptr<AnalysisSession> S = AnalysisSession::fromFiles(
+      {examplePath("containers.jir")}, {}, Diags);
+  ASSERT_NE(S, nullptr);
+  for (const char *Spec : {"ci", "csc", "zipper-e"}) {
+    StoredResult Stored = storedOf(*S, Spec);
+    expectPrefixSafety(serializeStoredResult(Stored), Spec);
+  }
+}
+
+TEST(ResultCodecTest, PTAResultRoundTripsStandalone) {
+  // The PTAResult sub-codec on its own, against the raw session result
+  // (no storedFromRun normalization in between).
+  std::vector<std::string> Diags;
+  auto P = buildWorkloadProgram(fuzzConfig(23), Diags);
+  ASSERT_NE(P, nullptr);
+  AnalysisSession S(*P);
+  AnalysisRun Run = S.run("csc");
+  ASSERT_EQ(Run.Status, RunStatus::Completed) << Run.Error;
+
+  BinaryWriter W;
+  serializePTAResult(Run.Result, W);
+  std::string Bytes = W.take();
+  BinaryReader R(Bytes);
+  PTAResult Out;
+  ASSERT_TRUE(deserializePTAResult(R, Out));
+  EXPECT_TRUE(R.atEnd());
+  EXPECT_TRUE(resultsEqual(Run.Result, Out));
+
+  BinaryWriter W2;
+  serializePTAResult(Out, W2);
+  EXPECT_EQ(W2.take(), Bytes);
+}

@@ -1,0 +1,270 @@
+//===- StoreFaultTest.cpp - Fault injection against the result store ------===//
+//
+// Part of the Cut-Shortcut pointer analysis reproduction.
+//
+//===----------------------------------------------------------------------===//
+//
+// The store's failure discipline, exercised adversarially: truncate
+// entries mid-record, flip random bytes, corrupt the index, bump the
+// format version, delete files behind a live handle, point the store at
+// an unusable path. Every injected fault must degrade to a counted miss
+// that recomputes — the warm aggregate stays byte-identical to a
+// storeless run — and none may crash, hang, or serve a wrong answer.
+// The suite runs under ASan+UBSan in CI's sanitize job, so "never
+// crashes" is checked with teeth.
+//
+//===----------------------------------------------------------------------===//
+
+#include "client/BatchExecutor.h"
+#include "store/ResultStore.h"
+#include "support/Rng.h"
+#include "workload/Workload.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <dirent.h>
+#include <fstream>
+#include <string>
+#include <sys/stat.h>
+#include <unistd.h>
+#include <vector>
+
+using namespace csc;
+
+namespace {
+
+std::vector<std::string> listFiles(const std::string &Dir) {
+  std::vector<std::string> Files;
+  DIR *D = ::opendir(Dir.c_str());
+  if (!D)
+    return Files;
+  while (struct dirent *E = ::readdir(D)) {
+    std::string Name = E->d_name;
+    if (Name != "." && Name != "..")
+      Files.push_back(Dir + "/" + Name);
+  }
+  ::closedir(D);
+  std::sort(Files.begin(), Files.end());
+  return Files;
+}
+
+void rmTree(const std::string &Dir) {
+  for (const std::string &F : listFiles(Dir)) {
+    struct stat St;
+    if (::stat(F.c_str(), &St) == 0 && S_ISDIR(St.st_mode))
+      rmTree(F);
+    else
+      std::remove(F.c_str());
+  }
+  ::rmdir(Dir.c_str());
+}
+
+std::string readFile(const std::string &Path) {
+  std::ifstream In(Path, std::ios::binary);
+  return std::string(std::istreambuf_iterator<char>(In),
+                     std::istreambuf_iterator<char>());
+}
+
+void writeFile(const std::string &Path, const std::string &Bytes) {
+  std::ofstream Out(Path, std::ios::binary | std::ios::trunc);
+  Out.write(Bytes.data(), static_cast<std::streamsize>(Bytes.size()));
+  ASSERT_TRUE(Out.good()) << Path;
+}
+
+class StoreFaultTest : public ::testing::Test {
+protected:
+  void SetUp() override {
+    char Template[] = "store-fault-XXXXXX";
+    ASSERT_NE(::mkdtemp(Template), nullptr);
+    Root = Template;
+    Dir = Root + "/store";
+
+    // Two seeded workloads x three specs = six deterministic runs; the
+    // storeless aggregate is the oracle every faulted pass must match.
+    for (uint64_t Seed : {7ULL, 19ULL}) {
+      WorkloadConfig C;
+      C.Name = "fault-" + std::to_string(Seed);
+      C.Seed = Seed;
+      BatchEntry E;
+      E.Label = C.Name;
+      E.SourceName = C.Name;
+      E.SourceText = generateWorkload(C);
+      E.Specs = {"ci", "csc", "2obj"};
+      Entries.push_back(std::move(E));
+    }
+    BatchExecutor Ref;
+    Reference = Ref.run(Entries).aggregateJson();
+    ASSERT_FALSE(Reference.empty());
+  }
+
+  void TearDown() override { rmTree(Root); }
+
+  std::shared_ptr<ResultStore> open() {
+    ResultStore::Options O;
+    O.Dir = Dir;
+    auto Store = std::make_shared<ResultStore>(O);
+    EXPECT_TRUE(Store->usable()) << Store->error();
+    return Store;
+  }
+
+  /// One fresh executor pass against \p Store; the aggregate must be
+  /// byte-identical to the storeless oracle no matter what the store has
+  /// been through.
+  BatchReport runWith(std::shared_ptr<ResultStore> Store) {
+    BatchExecutor::Options BO;
+    BO.Store = std::move(Store);
+    BatchExecutor Exec(BO);
+    BatchReport Report = Exec.run(Entries);
+    EXPECT_EQ(Report.aggregateJson(), Reference);
+    return Report;
+  }
+
+  /// Seeds the store with all six results and returns the entry files.
+  std::vector<std::string> warmObjects() {
+    runWith(open());
+    std::vector<std::string> Objects = listFiles(Dir + "/objects");
+    EXPECT_EQ(Objects.size(), 6u);
+    return Objects;
+  }
+
+  std::string Root, Dir;
+  std::vector<BatchEntry> Entries;
+  std::string Reference;
+};
+
+} // namespace
+
+TEST_F(StoreFaultTest, ColdThenWarmIsByteIdenticalAndFullyServed) {
+  BatchReport Cold = runWith(open());
+  EXPECT_EQ(Cold.StoreHits, 0u);
+  EXPECT_EQ(Cold.StoreMisses, 6u);
+
+  BatchReport Warm = runWith(open());
+  EXPECT_EQ(Warm.StoreHits, 6u);
+  EXPECT_EQ(Warm.StoreMisses, 0u);
+  uint64_t Served = 0;
+  for (const BatchEntryResult &E : Warm.Entries)
+    for (const BatchRunResult &R : E.Runs)
+      Served += R.FromStore ? 1 : 0;
+  EXPECT_EQ(Served, 6u);
+}
+
+TEST_F(StoreFaultTest, TruncationMidRecordDegradesToCountedMisses) {
+  for (const std::string &Obj : warmObjects()) {
+    std::string Bytes = readFile(Obj);
+    ASSERT_GT(Bytes.size(), 1u);
+    writeFile(Obj, Bytes.substr(0, Bytes.size() / 2));
+  }
+  std::shared_ptr<ResultStore> Store = open();
+  BatchReport Report = runWith(Store);
+  EXPECT_EQ(Report.StoreHits, 0u);
+  ResultStore::Counters C = Store->counters();
+  EXPECT_GE(C.CorruptEvictions, 6u);
+  // Self-repair: the recomputation republished, so the next pass hits.
+  EXPECT_EQ(runWith(open()).StoreHits, 6u);
+}
+
+TEST_F(StoreFaultTest, RandomBitFlipsNeverServeWrongBytes) {
+  Rng R(0x5eedULL);
+  for (int Round = 0; Round != 4; ++Round) {
+    std::vector<std::string> Objects = warmObjects();
+    for (const std::string &Obj : Objects) {
+      std::string Bytes = readFile(Obj);
+      ASSERT_FALSE(Bytes.empty());
+      size_t Pos = R.nextInRange(static_cast<uint32_t>(Bytes.size()));
+      Bytes[Pos] = static_cast<char>(
+          Bytes[Pos] ^ static_cast<char>(1u << R.nextInRange(8)));
+      writeFile(Obj, Bytes);
+    }
+    std::shared_ptr<ResultStore> Store = open();
+    BatchReport Report = runWith(Store);
+    // Every flipped entry must be detected: zero hits, all corrupt.
+    EXPECT_EQ(Report.StoreHits, 0u) << "round " << Round;
+    EXPECT_GE(Store->counters().CorruptEvictions, 6u)
+        << "round " << Round;
+  }
+}
+
+TEST_F(StoreFaultTest, CorruptIndexTriggersRebuildNotWrongAnswers) {
+  warmObjects();
+  writeFile(Dir + "/index.bin", "this is not an index");
+  std::shared_ptr<ResultStore> Store = open();
+  EXPECT_GE(Store->counters().IndexRebuilds, 1u);
+  // Entries were untouched: the rebuilt manifest serves all of them.
+  EXPECT_EQ(runWith(Store).StoreHits, 6u);
+
+  // A deleted index with surviving entries rebuilds the same way.
+  std::remove((Dir + "/index.bin").c_str());
+  std::shared_ptr<ResultStore> Store2 = open();
+  EXPECT_GE(Store2->counters().IndexRebuilds, 1u);
+  EXPECT_EQ(runWith(Store2).StoreHits, 6u);
+}
+
+TEST_F(StoreFaultTest, FormatVersionBumpIsCorruptionNotACrash) {
+  for (const std::string &Obj : warmObjects()) {
+    std::string Bytes = readFile(Obj);
+    ASSERT_GT(Bytes.size(), 8u);
+    ++Bytes[8]; // little-endian LSB of the u32 format version
+    writeFile(Obj, Bytes);
+  }
+  std::shared_ptr<ResultStore> Store = open();
+  BatchReport Report = runWith(Store);
+  EXPECT_EQ(Report.StoreHits, 0u);
+  EXPECT_GE(Store->counters().CorruptEvictions, 6u);
+}
+
+TEST_F(StoreFaultTest, DeletionBehindALiveHandleIsAPlainMiss) {
+  warmObjects();
+  std::shared_ptr<ResultStore> Store = open(); // index loaded, files gone:
+  for (const std::string &Obj : listFiles(Dir + "/objects"))
+    std::remove(Obj.c_str());
+  BatchReport Report = runWith(Store);
+  EXPECT_EQ(Report.StoreHits, 0u);
+  EXPECT_EQ(Report.StoreMisses, 6u);
+  // Nothing was corrupt — the files were absent, not damaged.
+  EXPECT_EQ(Store->counters().CorruptEvictions, 0u);
+}
+
+TEST_F(StoreFaultTest, ScrubReportsAndEvictsExactlyTheDamage) {
+  std::vector<std::string> Objects = warmObjects();
+  ASSERT_EQ(Objects.size(), 6u);
+  for (size_t I = 0; I != 2; ++I) { // damage two of six
+    std::string Bytes = readFile(Objects[I]);
+    Bytes[Bytes.size() / 2] ^= 0x40;
+    writeFile(Objects[I], Bytes);
+  }
+  std::shared_ptr<ResultStore> Store = open();
+  ResultStore::ScrubReport R = Store->scrub();
+  EXPECT_EQ(R.Valid, 4u);
+  EXPECT_EQ(R.Corrupt, 2u);
+  EXPECT_GT(R.Bytes, 0u);
+  EXPECT_EQ(listFiles(Dir + "/objects").size(), 4u); // evicted on disk
+  runWith(Store); // recomputes the two, still byte-identical
+  EXPECT_EQ(Store->scrub().Valid, 6u);
+}
+
+TEST_F(StoreFaultTest, UnusableDirectoryDegradesToNoOpStore) {
+  std::string File = Root + "/plain-file";
+  writeFile(File, "not a directory");
+  ResultStore::Options O;
+  O.Dir = File + "/store"; // parent is a file: mkdir must fail
+  auto Store = std::make_shared<ResultStore>(O);
+  EXPECT_FALSE(Store->usable());
+  EXPECT_FALSE(Store->error().empty());
+
+  StoredResult Unused;
+  EXPECT_FALSE(Store->lookup("some-key", Unused));
+  EXPECT_FALSE(Store->publish("some-key", Unused));
+  ResultStore::Counters C = Store->counters();
+  EXPECT_EQ(C.Misses, 1u);
+  EXPECT_EQ(C.PublishFailures, 1u);
+
+  // An executor handed the degraded store still produces the oracle.
+  BatchExecutor::Options BO;
+  BO.Store = Store;
+  BatchExecutor Exec(BO);
+  EXPECT_EQ(Exec.run(Entries).aggregateJson(), Reference);
+}

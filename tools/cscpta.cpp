@@ -29,6 +29,14 @@
 //                          docs/CLI.md for the schema)
 //     --repeat <n>         run the batch n times in-process (cache demo)
 //     --cache-budget <n>   batch result-cache byte budget (0 = unlimited)
+//     --store <dir>        persistent result store: completed runs are
+//                          published to <dir> and served back on later
+//                          invocations (single runs, --batch, --serve)
+//     --workers <n>        shard the batch across n worker processes
+//                          coordinating through --store
+//     --worker-shard <k/N> internal (spawned by --workers): compute only
+//                          every Nth task starting at k
+//     --scrub              validate every --store entry and exit
 //     --stats              per-run solver/SCC statistics on stderr (with
 //                          --batch: result-cache statistics)
 //     --no-stdlib          do not prepend the modelled standard library
@@ -44,6 +52,7 @@
 #include "client/BatchExecutor.h"
 #include "client/Report.h"
 #include "server/AnalysisServer.h"
+#include "store/ResultStore.h"
 #include "server/DemandSlicer.h"
 #include "server/IncrementalSolver.h"
 
@@ -77,6 +86,12 @@ int usage(const char *Prog) {
       "  --batch <manifest> run a {program, specs[]} manifest\n"
       "  --repeat <n>       run the batch n times in-process\n"
       "  --cache-budget <n> batch result-cache byte budget (0 = unlimited)\n"
+      "  --store <dir>      persistent result store (serves repeat runs\n"
+      "                     across processes; see docs/CLI.md)\n"
+      "  --workers <n>      shard --batch across n worker processes\n"
+      "                     coordinating through --store\n"
+      "  --worker-shard k/N internal: compute only shard k of N\n"
+      "  --scrub            validate every --store entry and exit\n"
       "  --stats            per-run solver/SCC statistics on stderr\n"
       "  --no-stdlib        do not prepend the modelled standard library\n"
       "  --verbose          phase progress on stderr\n"
@@ -91,6 +106,12 @@ struct CliOptions {
   bool AnalysesSet = false; ///< --analyses given (conflicts with --batch).
   std::vector<std::string> PointsToQueries;
   std::string BatchManifest;
+  std::string StoreDir;
+  unsigned Workers = 0;    ///< 0 = no worker fleet.
+  unsigned ShardIndex = 0; ///< --worker-shard k/N.
+  unsigned ShardCount = 1;
+  bool ShardSet = false; ///< --worker-shard given (worker process mode).
+  bool Scrub = false;
   double BudgetMs = 0;
   uint64_t WorkBudget = ~0ULL;
   uint64_t CacheBudget = 0;
@@ -171,6 +192,78 @@ bool parsePositiveArg(const std::string &Val, const char *Opt,
   return true;
 }
 
+/// Parses a "--worker-shard k/N" selector: 0 <= k < N <= 1024.
+bool parseShardArg(const std::string &Val, unsigned &Index,
+                   unsigned &Count) {
+  size_t Slash = Val.find('/');
+  uint64_t K = 0, N = 0;
+  if (Slash == std::string::npos ||
+      !parseUint64Arg(Val.substr(0, Slash), "--worker-shard", K) ||
+      !parseUint64Arg(Val.substr(Slash + 1), "--worker-shard", N))
+    return false;
+  if (N == 0 || N > 1024 || K >= N) {
+    std::fprintf(stderr,
+                 "error: --worker-shard expects k/N with k < N <= 1024, "
+                 "got '%s'\n",
+                 Val.c_str());
+    return false;
+  }
+  Index = static_cast<unsigned>(K);
+  Count = static_cast<unsigned>(N);
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// Persistent result store
+//===----------------------------------------------------------------------===//
+
+/// Opens --store, degrading to "no store" with a warning when the
+/// directory is unusable — a broken store must never fail the analysis.
+std::shared_ptr<ResultStore> openStore(const CliOptions &Cli) {
+  if (Cli.StoreDir.empty())
+    return nullptr;
+  ResultStore::Options SO;
+  SO.Dir = Cli.StoreDir;
+  auto Store = std::make_shared<ResultStore>(SO);
+  if (!Store->usable()) {
+    std::fprintf(stderr,
+                 "warning: result store '%s' is unusable (%s); "
+                 "continuing without it\n",
+                 Cli.StoreDir.c_str(), Store->error().c_str());
+    return nullptr;
+  }
+  return Store;
+}
+
+/// `--stats` store counter line; \p Served / \p Total are the runs of
+/// this invocation answered straight from the store.
+void printStoreStats(const ResultStore &Store, uint64_t Served,
+                     uint64_t Total) {
+  ResultStore::Counters C = Store.counters();
+  std::fprintf(stderr,
+               "[cscpta] store stats: served %llu/%llu runs, hits %llu, "
+               "misses %llu, publishes %llu, corrupt_evictions %llu, "
+               "index_rebuilds %llu\n",
+               static_cast<unsigned long long>(Served),
+               static_cast<unsigned long long>(Total),
+               static_cast<unsigned long long>(C.Hits),
+               static_cast<unsigned long long>(C.Misses),
+               static_cast<unsigned long long>(C.Publishes),
+               static_cast<unsigned long long>(C.CorruptEvictions),
+               static_cast<unsigned long long>(C.IndexRebuilds));
+}
+
+/// The cscpta binary to exec as a --workers child: /proc/self/exe where
+/// available (immune to $PATH and cwd changes), else how we were run.
+std::string workerExePath(const char *Argv0) {
+  std::FILE *F = std::fopen("/proc/self/exe", "rb");
+  if (F) {
+    std::fclose(F);
+    return "/proc/self/exe";
+  }
+  return Argv0;
+}
+
 //===----------------------------------------------------------------------===//
 // Batch mode
 //===----------------------------------------------------------------------===//
@@ -186,6 +279,8 @@ void printBatchHuman(const BatchReport &Report) {
       continue;
     }
     for (const BatchRunResult &R : E.Runs) {
+      if (R.Skipped)
+        continue; // sharded away; the coordinator reports it
       if (R.Status != RunStatus::Completed) {
         std::printf("%-18s %-18s %-16s %10.1f %10s %10s %10s %12s\n",
                     E.Label.c_str(), R.Spec.c_str(),
@@ -194,7 +289,10 @@ void printBatchHuman(const BatchReport &Report) {
       }
       std::printf("%-18s %-18s %-13s%3s %10.1f %10u %10u %10u %12llu\n",
                   E.Label.c_str(), R.Spec.c_str(), runStatusName(R.Status),
-                  R.FromCache ? "(c)" : "", R.WallMs, R.Metrics.FailCasts,
+                  R.FromCache    ? "(c)"
+                  : R.FromStore  ? "(s)"
+                                 : "",
+                  R.WallMs, R.Metrics.FailCasts,
                   R.Metrics.ReachMethods, R.Metrics.PolyCalls,
                   static_cast<unsigned long long>(R.Metrics.CallEdges));
     }
@@ -215,12 +313,46 @@ void printBatchStats(const BatchReport &Report, unsigned Pass,
                static_cast<unsigned long long>(Report.CacheMisses));
 }
 
-int runBatch(const CliOptions &Cli) {
+int runBatch(const CliOptions &Cli, const char *Argv0) {
   std::vector<BatchEntry> Entries;
   std::string Error;
   if (!loadBatchManifest(Cli.BatchManifest, Entries, Error)) {
     std::fprintf(stderr, "error: %s\n", Error.c_str());
     return 1;
+  }
+
+  std::shared_ptr<ResultStore> Store = openStore(Cli);
+  // --worker-shard: a spawned shard worker. It computes its slice,
+  // publishes into the store, and stays silent on stdout — the
+  // coordinator prints the one authoritative report.
+  bool WorkerMode = Cli.ShardSet;
+
+  if (Cli.Workers > 0) {
+    if (!Store) {
+      // Unusable store: the fleet has nothing to coordinate through.
+      std::fprintf(stderr, "warning: --workers needs a usable --store; "
+                           "running the batch in-process\n");
+    } else {
+      WorkerFleetOptions FO;
+      FO.Exe = workerExePath(Argv0);
+      FO.ManifestPath = Cli.BatchManifest;
+      FO.StoreDir = Cli.StoreDir;
+      FO.Workers = Cli.Workers;
+      FO.Jobs = Cli.Jobs;
+      FO.WithStdlib = !Cli.NoStdlib;
+      FO.WorkBudget = Cli.WorkBudget;
+      FO.TimeBudgetMs = Cli.BudgetMs;
+      FO.Verbose = Cli.Verbose;
+      unsigned Failed = runWorkerFleet(FO);
+      if (Failed)
+        std::fprintf(stderr,
+                     "warning: %u of %u workers failed; computing their "
+                     "shards in-process\n",
+                     Failed, std::max(1u, Cli.Workers));
+      // Fall through: the coordinator's own batch run below serves the
+      // fleet's published results from the warm store and computes
+      // whatever failed workers left behind.
+    }
   }
 
   BatchExecutor::Options BO;
@@ -229,12 +361,16 @@ int runBatch(const CliOptions &Cli) {
   BO.WorkBudget = Cli.WorkBudget;
   BO.TimeBudgetMs = Cli.BudgetMs;
   BO.CacheBudgetBytes = Cli.CacheBudget;
+  BO.Store = Store;
+  BO.ShardIndex = Cli.ShardIndex;
+  BO.ShardCount = Cli.ShardCount;
   BatchExecutor Exec(BO);
 
   BatchReport Report;
   for (unsigned Pass = 1; Pass <= Cli.Repeat; ++Pass) {
     Report = Exec.run(Entries);
-    printBatchStats(Report, Pass, Cli.Repeat);
+    if (!WorkerMode || Cli.Verbose)
+      printBatchStats(Report, Pass, Cli.Repeat);
   }
   if (Cli.Stats) {
     const ResultCache &C = Exec.cache();
@@ -246,9 +382,23 @@ int runBatch(const CliOptions &Cli) {
                  static_cast<unsigned long long>(C.evictions()),
                  static_cast<unsigned long long>(C.bytesUsed()), C.size(),
                  static_cast<unsigned long long>(C.byteBudget()));
+    if (Store) {
+      uint64_t Served = 0, Total = 0;
+      for (const BatchEntryResult &E : Report.Entries)
+        for (const BatchRunResult &R : E.Runs) {
+          if (R.Skipped)
+            continue;
+          ++Total;
+          if (R.FromStore)
+            ++Served;
+        }
+      printStoreStats(*Store, Served, Total);
+    }
   }
 
-  if (Cli.Json) {
+  if (WorkerMode) {
+    // stdout stays silent; stderr already carried any statistics.
+  } else if (Cli.Json) {
     std::printf("%s\n", Report.aggregateJson().c_str());
   } else {
     printBatchHuman(Report);
@@ -426,6 +576,74 @@ int runDemand(const CliOptions &Cli, const AnalysisSession &S) {
   return 0;
 }
 
+/// Single-run path with a persistent store: per-spec store lookups, one
+/// runAll over the misses, publish-back of the cacheable computed runs.
+/// \p Served counts the specs answered straight from the store.
+std::vector<AnalysisRun> runAllWithStore(AnalysisSession &S,
+                                         const CliOptions &Cli,
+                                         ResultStore &Store,
+                                         uint64_t &Served) {
+  std::vector<std::string> Specs = splitSpecList(Cli.Analyses);
+  std::vector<AnalysisRun> Runs(Specs.size());
+  if (Specs.empty())
+    return Runs;
+  uint64_t ProgFp = programFingerprint(S.program());
+  uint64_t RegFp = registryFingerprint(S.registry());
+  const AnalysisSession::Options &SO = S.options();
+
+  std::vector<std::string> Keys(Specs.size()), Canons(Specs.size());
+  std::vector<size_t> MissIdx;
+  std::string MissList;
+  for (size_t I = 0; I != Specs.size(); ++I) {
+    AnalysisSpec Parsed;
+    std::string Error;
+    if (parseAnalysisSpec(Specs[I], Parsed, Error)) {
+      Parsed.Name = S.registry().resolveName(Parsed.Name);
+      Canons[I] = canonicalSpec(Parsed);
+      Keys[I] = resultStoreKey(ProgFp, SO.WorkBudget, SO.TimeBudgetMs,
+                               RegFp, Canons[I]);
+      StoredResult SR;
+      if (Store.lookup(Keys[I], SR)) {
+        Runs[I] = runFromStored(SR);
+        Runs[I].Name = Parsed.Text; // display the requested spelling
+        ++Served;
+        continue;
+      }
+    }
+    // Misses (and unparsable specs, which runAll turns into SpecError
+    // runs carrying the same diagnostic) compute below in one pass.
+    MissIdx.push_back(I);
+    if (!MissList.empty())
+      MissList += ',';
+    MissList += Specs[I];
+  }
+
+  if (!MissIdx.empty()) {
+    std::vector<AnalysisRun> Computed = S.runAll(MissList, Cli.Jobs);
+    for (size_t K = 0; K != MissIdx.size() && K != Computed.size(); ++K) {
+      size_t I = MissIdx[K];
+      Runs[I] = std::move(Computed[K]);
+      AnalysisRun &R = Runs[I];
+      // Same cacheability rule as the batch executor: wall-clock
+      // exhaustion is nondeterministic, spec errors carry no result.
+      bool Cacheable = R.Status != RunStatus::BudgetExhausted ||
+                       SO.TimeBudgetMs == 0;
+      if (Keys[I].empty() || !Cacheable ||
+          R.Status == RunStatus::SpecError)
+        continue;
+      // Serialize the timing-free report under the canonical name, as
+      // the batch executor does, so every client mode shares entries.
+      std::string DisplayName = R.Name;
+      R.Name = Canons[I];
+      JsonWriter J;
+      appendRunJson(J, R, /*IncludeTimings=*/false);
+      Store.publish(Keys[I], storedFromRun(R, J.take()));
+      R.Name = DisplayName;
+    }
+  }
+  return Runs;
+}
+
 } // namespace
 
 int main(int Argc, char **Argv) {
@@ -477,6 +695,21 @@ int main(int Argc, char **Argv) {
     } else if (matchesOpt(Argv[I], "--batch")) {
       if (!takeValue(Argc, Argv, I, "--batch", Cli.BatchManifest))
         return usage(Argv[0]);
+    } else if (matchesOpt(Argv[I], "--store")) {
+      if (!takeValue(Argc, Argv, I, "--store", Cli.StoreDir) ||
+          Cli.StoreDir.empty())
+        return usage(Argv[0]);
+    } else if (matchesOpt(Argv[I], "--workers")) {
+      if (!takeValue(Argc, Argv, I, "--workers", Val) ||
+          !parsePositiveArg(Val, "--workers", Cli.Workers))
+        return usage(Argv[0]);
+    } else if (matchesOpt(Argv[I], "--worker-shard")) {
+      if (!takeValue(Argc, Argv, I, "--worker-shard", Val) ||
+          !parseShardArg(Val, Cli.ShardIndex, Cli.ShardCount))
+        return usage(Argv[0]);
+      Cli.ShardSet = true;
+    } else if (Arg == "--scrub") {
+      Cli.Scrub = true;
     } else if (Arg == "--json") {
       Cli.Json = true;
     } else if (Arg == "--serve") {
@@ -509,6 +742,44 @@ int main(int Argc, char **Argv) {
     std::printf("spec syntax: name[;key=value]..., comma-separated; e.g. "
                 "\"ci,k-type;k=3,zipper-e;pv=0.05\"\n");
     return 0;
+  }
+  if (Cli.Scrub) {
+    if (Cli.StoreDir.empty()) {
+      std::fprintf(stderr, "error: --scrub requires --store\n");
+      return usage(Argv[0]);
+    }
+    if (!Cli.Files.empty() || !Cli.BatchManifest.empty() || Cli.Serve) {
+      std::fprintf(stderr,
+                   "error: --scrub takes no programs, --batch, or "
+                   "--serve\n");
+      return usage(Argv[0]);
+    }
+    ResultStore::Options SO;
+    SO.Dir = Cli.StoreDir;
+    ResultStore Store(SO);
+    if (!Store.usable()) {
+      std::fprintf(stderr, "error: result store '%s' is unusable (%s)\n",
+                   Cli.StoreDir.c_str(), Store.error().c_str());
+      return 1;
+    }
+    ResultStore::ScrubReport R = Store.scrub();
+    std::printf("[cscpta] store scrub: %llu entries valid, %llu corrupt "
+                "(evicted), %llu bytes\n",
+                static_cast<unsigned long long>(R.Valid),
+                static_cast<unsigned long long>(R.Corrupt),
+                static_cast<unsigned long long>(R.Bytes));
+    return 0;
+  }
+  if ((Cli.Workers > 0 || Cli.ShardSet) &&
+      (Cli.BatchManifest.empty() || Cli.StoreDir.empty())) {
+    std::fprintf(stderr, "error: %s requires --batch and --store\n",
+                 Cli.Workers > 0 ? "--workers" : "--worker-shard");
+    return usage(Argv[0]);
+  }
+  if (Cli.Workers > 0 && Cli.ShardSet) {
+    std::fprintf(stderr,
+                 "error: --workers conflicts with --worker-shard\n");
+    return usage(Argv[0]);
   }
   if (Cli.Serve) {
     if (!Cli.BatchManifest.empty()) {
@@ -544,6 +815,7 @@ int main(int Argc, char **Argv) {
     AO.WithStdlib = !Cli.NoStdlib;
     AO.WorkBudget = Cli.WorkBudget;
     AO.TimeBudgetMs = Cli.BudgetMs;
+    AO.Store = openStore(Cli);
     if (Cli.AnalysesSet) {
       std::vector<std::string> Specs = splitSpecList(Cli.Analyses);
       if (Specs.size() != 1) {
@@ -591,7 +863,7 @@ int main(int Argc, char **Argv) {
                            "(specs come from the manifest)\n");
       return usage(Argv[0]);
     }
-    return runBatch(Cli);
+    return runBatch(Cli, Argv[0]);
   }
   if (Cli.Repeat != 1) {
     std::fprintf(stderr, "error: --repeat requires --batch\n");
@@ -635,7 +907,11 @@ int main(int Argc, char **Argv) {
     return runDemand(Cli, *S);
   }
 
-  std::vector<AnalysisRun> Runs = S->runAll(Cli.Analyses, Cli.Jobs);
+  std::shared_ptr<ResultStore> Store = openStore(Cli);
+  uint64_t StoreServed = 0;
+  std::vector<AnalysisRun> Runs =
+      Store ? runAllWithStore(*S, Cli, *Store, StoreServed)
+            : S->runAll(Cli.Analyses, Cli.Jobs);
   if (Runs.empty()) {
     std::fprintf(stderr, "error: no analyses requested\n");
     return usage(Argv[0]);
@@ -651,6 +927,8 @@ int main(int Argc, char **Argv) {
     if (Cli.Stats)
       printRunStats(Run);
   }
+  if (Cli.Stats && Store)
+    printStoreStats(*Store, StoreServed, Runs.size());
 
   if (Cli.Json) {
     JsonWriter J;
