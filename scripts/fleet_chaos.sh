@@ -1,0 +1,123 @@
+#!/usr/bin/env bash
+# Crash-schedule contract of the lease-based worker fleet: under every
+# injected fault — workers SIGKILLed mid-task, workers SIGSTOPped until
+# their lease expires, a task that crash-loops every worker that leases
+# it — the coordinator's aggregate JSON must stay byte-identical to the
+# storeless single-process oracle. A poisoned task must be quarantined
+# after its attempt budget with the pinned diagnostic and a nonzero
+# exit. Finally the store GC smoke: filling a store past
+# --store-max-bytes must evict down to the byte budget while keeping
+# the hot (most recently used) set intact, so the warm hit-rate gate
+# the CI store smoke enforces (>= 95%) still passes.
+#
+# Registered with CTest as cscpta_fleet_chaos; the in-process half
+# lives in tests/store/FleetFaultTest.cpp and TaskLedgerTest.cpp.
+#
+# Usage: fleet_chaos.sh <path-to-cscpta> <examples-dir>
+set -euo pipefail
+
+CSCPTA=${1:?usage: fleet_chaos.sh <cscpta> <examples-dir>}
+EXAMPLES=${2:?usage: fleet_chaos.sh <cscpta> <examples-dir>}
+CSCPTA=$(cd "$(dirname "$CSCPTA")" && pwd)/$(basename "$CSCPTA")
+EXAMPLES=$(cd "$EXAMPLES" && pwd)
+
+TMP=$(mktemp -d)
+trap 'rm -rf "$TMP"' EXIT
+
+# Six tasks (2 programs x 3 specs); task 2 is figure1:2obj.
+cat > "$TMP/manifest.json" <<EOF
+{
+  "entries": [
+    { "label": "figure1", "program": "$EXAMPLES/figure1.jir",
+      "specs": ["ci", "csc", "2obj"] },
+    { "label": "containers", "program": "$EXAMPLES/containers.jir",
+      "specs": ["ci", "csc", "2obj"] }
+  ]
+}
+EOF
+
+# The storeless oracle every crash schedule must reproduce.
+"$CSCPTA" --batch "$TMP/manifest.json" --json > "$TMP/ref.json"
+
+echo "== schedule 1: SIGKILL mid-task, one attempt =="
+# The worker holding task 2 kills itself on attempt 1; the supervisor
+# observes the death, releases the lease, respawns, and retries.
+CSC_FLEET_TEST_KILL_TASK=2 CSC_FLEET_TEST_KILL_ATTEMPTS=1 \
+  "$CSCPTA" --batch "$TMP/manifest.json" --json --store "$TMP/s1" \
+  --workers 2 --stats > "$TMP/kill.json" 2> "$TMP/kill.log"
+cmp "$TMP/ref.json" "$TMP/kill.json"
+grep -q "died by signal" "$TMP/kill.log"
+grep -q "tasks 6 done, 0 quarantined" "$TMP/kill.log"
+
+echo "== schedule 2: crash-looping task quarantines =="
+# Task 2 kills *every* worker that leases it: after the attempt budget
+# the ledger quarantines it with the pinned diagnostic, the coordinator
+# recomputes it in-process (same bytes), and the exit code goes 1.
+RC=0
+CSC_FLEET_TEST_KILL_TASK=2 \
+  "$CSCPTA" --batch "$TMP/manifest.json" --json --store "$TMP/s2" \
+  --workers 2 --max-task-attempts 2 --stats \
+  > "$TMP/poison.json" 2> "$TMP/poison.log" || RC=$?
+test "$RC" -eq 1
+cmp "$TMP/ref.json" "$TMP/poison.json"
+grep -q "quarantined after 2 attempts" "$TMP/poison.log"
+grep -q "failed 2 of 2 attempts" "$TMP/poison.log"
+grep -q "tasks 5 done, 1 quarantined" "$TMP/poison.log"
+
+echo "== schedule 3: SIGSTOPped worker loses its lease =="
+# A stopped worker cannot heartbeat; its lease expires, the work is
+# redone elsewhere, and the straggler is killed after the drain.
+CSC_FLEET_TEST_STOP_TASK=1 \
+  "$CSCPTA" --batch "$TMP/manifest.json" --json --store "$TMP/s3" \
+  --workers 2 --lease-ttl 300 --stats \
+  > "$TMP/stop.json" 2> "$TMP/stop.log"
+cmp "$TMP/ref.json" "$TMP/stop.json"
+grep -q "straggler" "$TMP/stop.log"
+
+echo "== store GC smoke: byte budget keeps the hot set =="
+# A second manifest whose six results are the designated cold set.
+cat > "$TMP/cold.json" <<EOF
+{
+  "entries": [
+    { "label": "figure1", "program": "$EXAMPLES/figure1.jir",
+      "specs": ["2cs", "2type", "csc-doop"] },
+    { "label": "containers", "program": "$EXAMPLES/containers.jir",
+      "specs": ["2cs", "2type", "csc-doop"] }
+  ]
+}
+EOF
+
+objects_bytes() {
+  find "$1/objects" -type f -name '*.csce' -printf '%s\n' 2>/dev/null |
+    awk '{ s += $1 } END { print s + 0 }'
+}
+
+# Measure the hot set alone to size the budget.
+"$CSCPTA" --batch "$TMP/manifest.json" --json --store "$TMP/sz" \
+  > /dev/null
+HOT_BYTES=$(objects_bytes "$TMP/sz")
+test "$HOT_BYTES" -gt 0
+BUDGET=$((HOT_BYTES + 200))
+
+# Fill the real store past the budget: cold entries first, then hot —
+# publish order makes the hot set the most recently used.
+"$CSCPTA" --batch "$TMP/cold.json" --json --store "$TMP/s4" > /dev/null
+"$CSCPTA" --batch "$TMP/manifest.json" --json --store "$TMP/s4" \
+  > /dev/null
+test "$(objects_bytes "$TMP/s4")" -gt "$BUDGET"
+
+# The bounded warm pass: GC evicts the cold set down to the budget and
+# the hot set serves every run — the same >= 95% hit-rate gate CI's
+# store smoke applies must hold on what GC retained.
+"$CSCPTA" --batch "$TMP/manifest.json" --json --store "$TMP/s4" \
+  --store-max-bytes "$BUDGET" --stats \
+  > "$TMP/gc.json" 2> "$TMP/gc.log"
+cmp "$TMP/ref.json" "$TMP/gc.json"
+grep -q "store stats: served 6/6 runs" "$TMP/gc.log"
+grep -Eq "gc_evictions [1-9]" "$TMP/gc.log"
+awk '/store stats/ { split($5, R, "/");
+  if (R[1] / R[2] < 0.95) exit 1 }' "$TMP/gc.log"
+FINAL=$(objects_bytes "$TMP/s4")
+test "$FINAL" -le "$BUDGET"
+
+echo "fleet_chaos: OK"

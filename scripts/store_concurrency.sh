@@ -57,9 +57,13 @@ grep -q ", 0 corrupt" "$TMP/scrub.txt"
 cmp "$TMP/ref.json" "$TMP/warm.json"
 grep -q "store stats: served 6/6 runs" "$TMP/warm.log"
 
-# A worker fleet over a fresh store agrees with everything above.
+# A worker fleet over a fresh store agrees with everything above, and
+# the pinned fleet stats line classifies every worker's exit cause.
 "$CSCPTA" --batch "$TMP/manifest.json" --json --store "$TMP/store2" \
-  --workers 2 > "$TMP/fleet.json"
+  --workers 2 --stats > "$TMP/fleet.json" 2> "$TMP/fleet.log"
 cmp "$TMP/ref.json" "$TMP/fleet.json"
+grep -q "fleet stats: spawned 2 workers (0 respawns), 2 exited clean" \
+  "$TMP/fleet.log"
+grep -q "tasks 6 done, 0 quarantined" "$TMP/fleet.log"
 
 echo "store_concurrency: OK"

@@ -9,14 +9,21 @@
 #include "client/Report.h"
 #include "ir/Printer.h"
 #include "store/ResultStore.h"
+#include "support/Hash.h"
 #include "support/JsonParse.h"
 #include "support/ThreadPool.h"
 #include "support/Timer.h"
 
 #include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <condition_variable>
+#include <csignal>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <sstream>
+#include <thread>
 
 #ifndef _WIN32
 #include <sys/wait.h>
@@ -447,6 +454,7 @@ void BatchExecutor::runSpec(ProgramSlot &Slot, const std::string &Spec,
     StoredResult SR;
     if (Opts.Store->lookup(SKey, SR)) {
       Out.FromStore = true;
+      Out.StoreKey = SKey;
       Out.Status = SR.Status;
       Out.Error = SR.Error;
       Out.Metrics = SR.Metrics;
@@ -493,12 +501,23 @@ void BatchExecutor::runSpec(ProgramSlot &Slot, const std::string &Spec,
     // Publish to the persistent store under the same cacheability rule,
     // except spec errors: they carry no result and cost nothing to
     // rediagnose, so the store keeps only completed analyses.
-    if (Opts.Store && !SKey.empty() && R.Status != RunStatus::SpecError)
-      Opts.Store->publish(SKey, storedFromRun(R, Out.RunJson));
+    if (Opts.Store && !SKey.empty() && R.Status != RunStatus::SpecError &&
+        Opts.Store->publish(SKey, storedFromRun(R, Out.RunJson)))
+      Out.StoreKey = SKey;
   }
 }
 
 BatchReport BatchExecutor::run(const std::vector<BatchEntry> &Entries) {
+  return runImpl(Entries, nullptr);
+}
+
+BatchReport BatchExecutor::run(const std::vector<BatchEntry> &Entries,
+                               const std::vector<size_t> &OnlyTasks) {
+  return runImpl(Entries, &OnlyTasks);
+}
+
+BatchReport BatchExecutor::runImpl(const std::vector<BatchEntry> &Entries,
+                                   const std::vector<size_t> *Only) {
   Timer Wall;
   uint64_t Hits0 = Cache.hits(), Misses0 = Cache.misses();
   ResultStore::Counters Store0;
@@ -537,11 +556,12 @@ BatchReport BatchExecutor::run(const std::vector<BatchEntry> &Entries) {
             Report.Entries[EntryIdx].Runs[SpecIdx]);
   };
 
-  // Select this shard's tasks. Spec tasks are numbered in manifest order
-  // (the same numbering in every process over one manifest, which is
-  // what partitions a worker fleet); skipped tasks are recorded, and
-  // load-only entries are skipped entirely in shard mode — a worker has
-  // no use for a load outcome it will not report.
+  // Select this process's tasks. Spec tasks are numbered in manifest
+  // order (the same numbering in every process over one manifest, which
+  // is what partitions a worker fleet — static shards and ledger task
+  // ids alike); skipped tasks are recorded, and load-only entries are
+  // skipped entirely in shard/filtered mode — a worker has no use for a
+  // load outcome it will not report.
   unsigned ShardCount = std::max(1u, Opts.ShardCount);
   unsigned ShardIndex = Opts.ShardIndex % ShardCount;
   std::vector<std::pair<size_t, size_t>> Tasks;
@@ -549,14 +569,18 @@ BatchReport BatchExecutor::run(const std::vector<BatchEntry> &Entries) {
   size_t Linear = 0;
   for (size_t E = 0; E != Entries.size(); ++E) {
     if (Entries[E].Specs.empty()) {
-      if (ShardCount == 1) {
+      if (ShardCount == 1 && !Only) {
         Tasks.emplace_back(E, LoadOnly);
         Attempted[E] = true;
       }
       continue;
     }
     for (size_t S = 0; S != Entries[E].Specs.size(); ++S) {
-      if (Linear++ % ShardCount == ShardIndex) {
+      bool Mine = Only ? std::find(Only->begin(), Only->end(), Linear) !=
+                             Only->end()
+                       : Linear % ShardCount == ShardIndex;
+      ++Linear;
+      if (Mine) {
         Tasks.emplace_back(E, S);
         Attempted[E] = true;
       } else {
@@ -604,25 +628,222 @@ BatchReport BatchExecutor::run(const std::vector<BatchEntry> &Entries) {
 }
 
 //===----------------------------------------------------------------------===//
-// Worker fleet
+// Task numbering + batch identity
 //===----------------------------------------------------------------------===//
 
-unsigned csc::runWorkerFleet(const WorkerFleetOptions &O) {
-  unsigned Workers = std::max(1u, O.Workers);
+size_t csc::countBatchTasks(const std::vector<BatchEntry> &Entries) {
+  size_t N = 0;
+  for (const BatchEntry &E : Entries)
+    N += E.Specs.size();
+  return N;
+}
+
+uint64_t csc::batchFingerprint(const std::vector<BatchEntry> &Entries) {
+  // Everything that shapes task numbering or task content, with NUL
+  // separators for unambiguity. Paths are part of identity: two
+  // manifests naming different files are different batches even if the
+  // file contents happen to match.
+  uint64_t H = 1469598103934665603ULL;
+  auto Mix = [&H](const std::string &S) {
+    H = fnv1a64(S.data(), S.size(), H);
+    H = fnv1a64("\0", 1, H);
+  };
+  for (const BatchEntry &E : Entries) {
+    Mix(E.Label);
+    for (const std::string &F : E.Files)
+      Mix(F);
+    Mix(E.SourceName);
+    Mix(E.SourceText);
+    for (const std::string &S : E.Specs)
+      Mix(S);
+    Mix("");
+  }
+  return H;
+}
+
+//===----------------------------------------------------------------------===//
+// Pull worker
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Environment fault hooks for the chaos tests — consulted only inside
+/// the pull-worker loop, never by a coordinator or plain batch, so an
+/// injected fault can kill workers without poisoning the in-process
+/// drain that makes the final aggregate correct anyway:
+///
+///   CSC_FLEET_TEST_KILL_TASK=<id>     raise(SIGKILL) on leasing task id
+///   CSC_FLEET_TEST_KILL_ATTEMPTS=<n>  ...only while attempt <= n
+///                                     (unset: every attempt)
+///   CSC_FLEET_TEST_STOP_TASK=<id>     raise(SIGSTOP) on leasing task id
+///   CSC_FLEET_TEST_SLOW_MS=<ms>       sleep before running each task
+///
+/// The hooks fire at a controlled point — after acquire() returned, so
+/// never while holding the ledger flock.
+bool envTaskMatches(const char *Var, uint32_t Task) {
+  const char *V = std::getenv(Var);
+  return V && std::strtoul(V, nullptr, 10) == Task;
+}
+
+uint64_t envMs(const char *Var) {
+  const char *V = std::getenv(Var);
+  return V ? std::strtoull(V, nullptr, 10) : 0;
+}
+
+} // namespace
+
+int csc::runPullWorker(const std::vector<BatchEntry> &Entries,
+                       const BatchExecutor::Options &ExecOpts,
+                       const std::string &LedgerPath,
+                       uint64_t ExpectFingerprint) {
 #ifndef _WIN32
-  unsigned Failures = 0;
-  std::vector<pid_t> Pids;
-  for (unsigned W = 0; W != Workers; ++W) {
+  TaskLedger::Options LO;
+  LO.Path = LedgerPath;
+  TaskLedger Ledger(std::move(LO));
+  TaskLedger::Config Cfg;
+  if (!Ledger.config(Cfg, ExpectFingerprint))
+    return 2; // absent, unreadable, or some other batch's ledger
+  if (Cfg.TaskCount != countBatchTasks(Entries))
+    return 2;
+
+  // Linear task id -> (entry, spec) — needed to find the store key the
+  // completed run reports back onto the lease.
+  std::vector<std::pair<size_t, size_t>> TaskMap;
+  TaskMap.reserve(Cfg.TaskCount);
+  for (size_t E = 0; E != Entries.size(); ++E)
+    for (size_t S = 0; S != Entries[E].Specs.size(); ++S)
+      TaskMap.emplace_back(E, S);
+
+  BatchExecutor::Options EO = ExecOpts;
+  EO.ShardIndex = 0;
+  EO.ShardCount = 1; // pull mode replaces static sharding outright
+  BatchExecutor Ex(EO);
+  uint64_t Wid = static_cast<uint64_t>(::getpid());
+
+  while (true) {
+    TaskLedger::Lease L;
+    uint64_t RetryInMs = 0;
+    switch (Ledger.acquire(Wid, L, RetryInMs)) {
+    case TaskLedger::AcquireStatus::Drained:
+      return 0;
+    case TaskLedger::AcquireStatus::Error:
+      return 2; // the supervisor observes the exit and compensates
+    case TaskLedger::AcquireStatus::Retry:
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(std::min<uint64_t>(RetryInMs, 250)));
+      continue;
+    case TaskLedger::AcquireStatus::Acquired:
+      break;
+    }
+
+    if (envTaskMatches("CSC_FLEET_TEST_KILL_TASK", L.Task)) {
+      uint64_t Upto = envMs("CSC_FLEET_TEST_KILL_ATTEMPTS");
+      if (Upto == 0 || L.Attempt <= Upto)
+        ::raise(SIGKILL);
+    }
+    if (envTaskMatches("CSC_FLEET_TEST_STOP_TASK", L.Task))
+      ::raise(SIGSTOP); // hang un-renewed until the TTL reclaims us
+    if (uint64_t Slow = envMs("CSC_FLEET_TEST_SLOW_MS"))
+      std::this_thread::sleep_for(std::chrono::milliseconds(Slow));
+
+    // Heartbeat at TTL/3 for the whole solve: a healthy long run never
+    // loses its lease; a renewal that fails means the lease was already
+    // reclaimed, and the harmless worst case is a duplicate publish of
+    // identical bytes.
+    std::mutex Hm;
+    std::condition_variable Hcv;
+    bool HDone = false;
+    std::thread Heart([&] {
+      std::unique_lock<std::mutex> G(Hm);
+      auto Period =
+          std::chrono::milliseconds(std::max(1u, Cfg.LeaseTtlMs / 3));
+      while (!Hcv.wait_for(G, Period, [&] { return HDone; }))
+        Ledger.renew(L, Wid);
+    });
+
+    BatchReport R = Ex.run(Entries, {static_cast<size_t>(L.Task)});
+
+    {
+      std::lock_guard<std::mutex> G(Hm);
+      HDone = true;
+    }
+    Hcv.notify_one();
+    Heart.join();
+
+    auto [E, S] = TaskMap[L.Task];
+    Ledger.complete(L, Wid, R.Entries[E].Runs[S].StoreKey);
+  }
+#else
+  (void)Entries;
+  (void)ExecOpts;
+  (void)LedgerPath;
+  (void)ExpectFingerprint;
+  return 2;
+#endif
+}
+
+//===----------------------------------------------------------------------===//
+// Fleet supervisor
+//===----------------------------------------------------------------------===//
+
+std::string FleetReport::exitCauseSummary() const {
+  char Buf[160];
+  std::snprintf(Buf, sizeof(Buf),
+                "%u exited clean, %u exited nonzero, %u died by signal, "
+                "%u stragglers killed",
+                CleanExits, FailedExits, Signaled, StragglersKilled);
+  return Buf;
+}
+
+#ifndef _WIN32
+namespace {
+
+/// waitpid that retries on EINTR: a signal delivered to the coordinator
+/// (timers, terminal signals with handlers) must not be mistaken for a
+/// worker failure or lose a child's exit status.
+pid_t waitpidEintr(pid_t Pid, int *St, int Flags) {
+  while (true) {
+    pid_t R = ::waitpid(Pid, St, Flags);
+    if (R >= 0 || errno != EINTR)
+      return R;
+  }
+}
+
+uint64_t steadyMs() {
+  using namespace std::chrono;
+  return static_cast<uint64_t>(
+      duration_cast<milliseconds>(steady_clock::now().time_since_epoch())
+          .count());
+}
+
+} // namespace
+#endif
+
+FleetReport csc::runWorkerFleet(const WorkerFleetOptions &O) {
+  FleetReport R;
+#ifndef _WIN32
+  std::string LedgerPath = O.StoreDir + "/ledger.bin";
+  TaskLedger::Options LO;
+  LO.Path = LedgerPath;
+  TaskLedger Ledger(std::move(LO));
+  TaskLedger::Config Cfg;
+  Cfg.BatchFingerprint = O.BatchFingerprint;
+  Cfg.TaskCount = O.TaskCount;
+  Cfg.LeaseTtlMs = std::max(1u, O.LeaseTtlMs);
+  Cfg.MaxAttempts = std::max(1u, O.MaxAttempts);
+  if (O.TaskCount == 0 || !Ledger.create(Cfg))
+    return R; // LedgerOk false: the caller computes everything itself
+  R.LedgerOk = true;
+
+  unsigned Workers = std::max(1u, O.Workers);
+  auto Spawn = [&]() -> pid_t {
     std::vector<std::string> Args;
     Args.push_back(O.Exe);
     Args.push_back("--batch");
     Args.push_back(O.ManifestPath);
     Args.push_back("--store");
     Args.push_back(O.StoreDir);
-    char Shard[48];
-    std::snprintf(Shard, sizeof(Shard), "%u/%u", W, Workers);
-    Args.push_back("--worker-shard");
-    Args.push_back(Shard);
+    Args.push_back("--worker-pull");
     Args.push_back("--jobs");
     Args.push_back(std::to_string(std::max(1u, O.Jobs)));
     if (!O.WithStdlib)
@@ -639,7 +860,6 @@ unsigned csc::runWorkerFleet(const WorkerFleetOptions &O) {
     }
     if (O.Verbose)
       Args.push_back("--stats");
-
     pid_t Pid = ::fork();
     if (Pid == 0) {
       std::vector<char *> Argv;
@@ -648,28 +868,128 @@ unsigned csc::runWorkerFleet(const WorkerFleetOptions &O) {
         Argv.push_back(&A[0]);
       Argv.push_back(nullptr);
       ::execv(O.Exe.c_str(), Argv.data());
-      _exit(127); // exec failed; the parent counts the failure
+      _exit(127); // exec failed; the parent observes the exit code
     }
+    return Pid;
+  };
+
+  std::vector<pid_t> Live;
+  for (unsigned W = 0; W != Workers; ++W) {
+    pid_t Pid = Spawn();
     if (Pid < 0) {
-      ++Failures; // fork failed: the coordinator computes this shard
+      ++R.ForkFailures; // the coordinator will drain the difference
       continue;
     }
-    Pids.push_back(Pid);
+    Live.push_back(Pid);
+    ++R.Spawned;
   }
-  for (pid_t Pid : Pids) {
+
+  // Supervision loop: reap deaths (releasing their leases immediately),
+  // respawn while undone work and budget remain, and watch for stalls.
+  // Renewed leases count as progress, so only a fleet that is neither
+  // completing nor heartbeating (all hung/stopped) trips the stall
+  // exit — at which point the coordinator drains in-process.
+  const uint64_t StallMs = 2ull * Cfg.LeaseTtlMs + 2000;
+  uint64_t LastProgress = steadyMs();
+  uint64_t LastSig = ~0ULL;
+  while (true) {
+    while (!Live.empty()) {
+      int St = 0;
+      pid_t Pid = waitpidEintr(-1, &St, WNOHANG);
+      if (Pid <= 0)
+        break; // no exits pending (or no children at all)
+      Live.erase(std::remove(Live.begin(), Live.end(), Pid), Live.end());
+      std::string Cause;
+      if (WIFEXITED(St)) {
+        int Code = WEXITSTATUS(St);
+        if (Code == 0 || Code == 3) // budget exhaustion is a clean run
+          ++R.CleanExits;
+        else {
+          ++R.FailedExits;
+          Cause = "exit " + std::to_string(Code);
+        }
+      } else if (WIFSIGNALED(St)) {
+        ++R.Signaled;
+        Cause = "signal " + std::to_string(WTERMSIG(St));
+      }
+      if (Cause.empty())
+        continue;
+      Ledger.noteWorkerDeath(static_cast<uint64_t>(Pid), Cause);
+      TaskLedger::Summary Sum;
+      if (Ledger.summary(Sum) && !Sum.drained() &&
+          R.Respawns < O.RestartBudget) {
+        pid_t NewPid = Spawn();
+        if (NewPid < 0) {
+          ++R.ForkFailures;
+        } else {
+          Live.push_back(NewPid);
+          ++R.Spawned;
+          ++R.Respawns;
+        }
+      }
+    }
+
+    Ledger.reclaimExpired();
+    TaskLedger::Summary Sum;
+    if (!Ledger.summary(Sum)) {
+      R.LedgerOk = false; // ledger went unreadable mid-fleet
+      break;
+    }
+    if (Sum.drained() || Live.empty())
+      break;
+
+    // Progress signature: completion counts, state mix, and lease
+    // expiries (renewals move them forward).
+    TaskLedger::Config SnapCfg;
+    std::vector<TaskLedger::Task> Tasks;
+    uint64_t Sig = (uint64_t)Sum.Done << 40 | (uint64_t)Sum.Quarantined << 24 |
+                   Sum.Pending << 12 | Sum.Leased;
+    if (Ledger.snapshot(SnapCfg, Tasks))
+      for (const TaskLedger::Task &T : Tasks)
+        Sig = fnv1a64(&T.LeaseExpiryMs, sizeof(T.LeaseExpiryMs), Sig);
+    uint64_t Now = steadyMs();
+    if (Sig != LastSig) {
+      LastSig = Sig;
+      LastProgress = Now;
+    } else if (Now - LastProgress > StallMs) {
+      break; // nobody is completing or even heartbeating — give up
+    }
+    ::usleep(20000);
+  }
+
+  // Give surviving workers a moment to observe the drained ledger and
+  // exit on their own; whoever remains (SIGSTOPped or hung) is killed —
+  // their leases are already expired or irrelevant.
+  uint64_t GraceEnd = steadyMs() + 2000;
+  while (!Live.empty() && steadyMs() < GraceEnd) {
     int St = 0;
-    if (::waitpid(Pid, &St, 0) < 0) {
-      ++Failures;
+    pid_t Pid = waitpidEintr(-1, &St, WNOHANG);
+    if (Pid > 0) {
+      Live.erase(std::remove(Live.begin(), Live.end(), Pid), Live.end());
+      if (WIFEXITED(St) &&
+          (WEXITSTATUS(St) == 0 || WEXITSTATUS(St) == 3))
+        ++R.CleanExits;
+      else if (WIFSIGNALED(St))
+        ++R.Signaled;
+      else
+        ++R.FailedExits;
       continue;
     }
-    // Exit 3 (budget exhausted) is a clean outcome: the worker ran and
-    // published what it could.
-    if (!WIFEXITED(St) ||
-        (WEXITSTATUS(St) != 0 && WEXITSTATUS(St) != 3))
-      ++Failures;
+    ::usleep(20000);
   }
-  return Failures;
+  for (pid_t Pid : Live) {
+    ::kill(Pid, SIGKILL);
+    int St = 0;
+    waitpidEintr(Pid, &St, 0);
+    ++R.StragglersKilled;
+  }
+
+  Ledger.reclaimExpired(); // final accounting: quarantine what expired
+  TaskLedger::Config FinalCfg;
+  Ledger.snapshot(FinalCfg, R.Tasks);
+  Ledger.summary(R.Final);
 #else
-  return Workers; // no fork/exec: the caller computes everything itself
+  (void)O;
 #endif
+  return R;
 }

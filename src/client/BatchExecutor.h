@@ -35,6 +35,7 @@
 #define CSC_CLIENT_BATCHEXECUTOR_H
 
 #include "client/AnalysisSession.h"
+#include "store/TaskLedger.h"
 
 #include <deque>
 #include <list>
@@ -149,6 +150,11 @@ struct BatchRunResult {
   /// task to another worker: nothing was computed and RunJson is empty.
   bool Skipped = false;
   std::string RunJson; ///< Deterministic per-run report.
+  /// The persistent-store key this result lives under — set when the
+  /// run was served from the store or published into it; empty
+  /// otherwise. Pull workers record it on the task lease so store GC
+  /// pins the entry until the coordinator consumes it.
+  std::string StoreKey;
 };
 
 /// The outcome of one batch entry: the load result plus one
@@ -217,6 +223,13 @@ public:
   /// served entirely from cache.
   BatchReport run(const std::vector<BatchEntry> &Entries);
 
+  /// Runs only the (entry, spec) tasks whose linear position in manifest
+  /// order appears in \p OnlyTasks (the numbering countBatchTasks
+  /// describes — the same numbering shard mode uses); everything else is
+  /// marked Skipped. The pull worker's per-lease entry point.
+  BatchReport run(const std::vector<BatchEntry> &Entries,
+                  const std::vector<size_t> &OnlyTasks);
+
   const Options &options() const { return Opts; }
   ResultCache &cache() { return Cache; }
   const ResultCache &cache() const { return Cache; }
@@ -240,6 +253,8 @@ private:
   void loadSlot(ProgramSlot &Slot, const BatchEntry &E);
   void runSpec(ProgramSlot &Slot, const std::string &Spec,
                BatchRunResult &Out);
+  BatchReport runImpl(const std::vector<BatchEntry> &Entries,
+                      const std::vector<size_t> *Only);
 
   Options Opts;
   ResultCache Cache;
@@ -249,11 +264,35 @@ private:
   std::deque<ProgramSlot> Slots;
 };
 
-/// How to spawn a fleet of cscpta worker processes over one manifest.
-/// Each worker runs `Exe --batch Manifest --store StoreDir
-/// --worker-shard k/N ...`, computing its shard and publishing every
-/// result into the shared store; the caller then re-runs the batch
-/// locally against the warm store to produce the authoritative report.
+/// The number of linear (entry, spec) tasks a manifest yields — the
+/// task numbering shared by shard mode, run(Entries, OnlyTasks), and
+/// the task ledger.
+size_t countBatchTasks(const std::vector<BatchEntry> &Entries);
+
+/// Content fingerprint of a parsed manifest (labels, program identity,
+/// specs) — the identity guard embedded in a task ledger so a worker
+/// handed a ledger from some other batch refuses to run. Independent of
+/// the manifest's path or formatting.
+uint64_t batchFingerprint(const std::vector<BatchEntry> &Entries);
+
+/// Pull-mode worker loop (`cscpta --worker-pull`): validates the ledger
+/// at \p LedgerPath against \p ExpectFingerprint, then acquires leases
+/// one at a time, runs each task with a heartbeat renewing the lease,
+/// publishes results through \p ExecOpts.Store, and completes the lease
+/// with the published store key. Returns a process exit code: 0 when
+/// the ledger drained (including "someone else finished everything"),
+/// 2 when the ledger was unusable or belongs to a different batch.
+int runPullWorker(const std::vector<BatchEntry> &Entries,
+                  const BatchExecutor::Options &ExecOpts,
+                  const std::string &LedgerPath,
+                  uint64_t ExpectFingerprint);
+
+/// How to supervise a fleet of pull-mode cscpta workers over one
+/// manifest. Each worker runs `Exe --batch Manifest --store StoreDir
+/// --worker-pull ...`, pulling task leases from the ledger at
+/// `StoreDir/ledger.bin` and publishing every result into the shared
+/// store; the caller then re-runs the batch locally against the warm
+/// store to produce the authoritative report.
 struct WorkerFleetOptions {
   std::string Exe; ///< cscpta binary to exec (e.g. /proc/self/exe).
   std::string ManifestPath;
@@ -264,14 +303,44 @@ struct WorkerFleetOptions {
   uint64_t WorkBudget = ~0ULL;
   double TimeBudgetMs = 0;
   bool Verbose = false; ///< Let workers keep their stderr statistics.
+  uint64_t BatchFingerprint = 0; ///< batchFingerprint of the manifest.
+  uint32_t TaskCount = 0;        ///< countBatchTasks of the manifest.
+  uint32_t LeaseTtlMs = 5000;
+  uint32_t MaxAttempts = 3; ///< Task quarantine threshold.
+  /// Workers respawned beyond the initial fleet before the supervisor
+  /// gives up and lets the coordinator drain the remainder in-process.
+  unsigned RestartBudget = 16;
 };
 
-/// Forks and waits for the whole fleet. Returns the number of workers
-/// that failed abnormally (0 = all clean; budget-exhausted exits count
-/// as clean) — the caller computes whatever failed workers left behind,
-/// so failures degrade to lost parallelism, never lost results. Always
-/// fails everything on non-POSIX hosts.
-unsigned runWorkerFleet(const WorkerFleetOptions &O);
+/// What supervising the fleet observed. Worker failures and quarantines
+/// degrade to in-process recomputation by the coordinator — never lost
+/// results — so everything here is diagnostic.
+struct FleetReport {
+  unsigned Spawned = 0;    ///< Processes forked (initial + respawns).
+  unsigned Respawns = 0;   ///< Replacements for dead workers.
+  unsigned CleanExits = 0; ///< Exit 0 or 3 (budget exhaustion is clean).
+  unsigned FailedExits = 0;     ///< Other exit codes.
+  unsigned Signaled = 0;        ///< Deaths by signal (crash/kill).
+  unsigned StragglersKilled = 0; ///< Alive after drain; SIGKILLed.
+  unsigned ForkFailures = 0;
+  bool LedgerOk = false; ///< Ledger was created and stayed readable.
+  TaskLedger::Summary Final;        ///< Ledger state after the fleet.
+  std::vector<TaskLedger::Task> Tasks; ///< Final snapshot (diags live
+                                       ///< on quarantined tasks).
+  /// Pinned per-cause wording for the fleet stats line, e.g.
+  /// "3 exited clean, 1 exited nonzero, 2 died by signal".
+  std::string exitCauseSummary() const;
+};
+
+/// Creates the task ledger, forks the initial fleet, and supervises it
+/// to convergence: dead workers release their leases immediately
+/// (observed deaths) or at TTL expiry (hangs), and are respawned while
+/// undone work and restart budget remain. Returns once the ledger is
+/// drained or the fleet cannot make progress; stragglers still alive
+/// after a drained ledger (e.g. SIGSTOPped workers) are killed. On
+/// non-POSIX hosts (or when the ledger cannot be created) no workers
+/// run — the caller computes everything itself.
+FleetReport runWorkerFleet(const WorkerFleetOptions &O);
 
 } // namespace csc
 

@@ -516,6 +516,7 @@ std::string AnalysisServer::handleStats() {
         .kv("publishes", C.Publishes)
         .kv("corrupt_evictions", C.CorruptEvictions)
         .kv("index_rebuilds", C.IndexRebuilds)
+        .kv("gc_evictions", C.GcEvictions)
         .endObject();
   }
   W.endObject();

@@ -7,13 +7,16 @@
 #include "store/ResultStore.h"
 
 #include "client/AnalysisRegistry.h"
+#include "store/TaskLedger.h"
 #include "support/Hash.h"
 
 #include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <set>
 #include <sstream>
 #include <vector>
 
@@ -71,7 +74,10 @@ namespace {
 // the fixed header is caught; flips inside the header fail the magic /
 // version / checksum comparison instead.
 constexpr char EntryMagic[8] = {'C', 'S', 'C', 'P', 'T', 'A', 'R', '1'};
-constexpr char IndexMagic[8] = {'C', 'S', 'C', 'P', 'T', 'A', 'X', '1'};
+// X2 added the per-record access stamp for GC. An X1 index simply fails
+// to parse, which the existing rebuild sweep self-repairs (stamping
+// entries from their file mtimes) — no migration path needed.
+constexpr char IndexMagic[8] = {'C', 'S', 'C', 'P', 'T', 'A', 'X', '2'};
 constexpr uint32_t FormatVersion = 1;
 constexpr size_t HeaderBytes = 8 + 4 + 8; // magic + version + checksum
 
@@ -155,6 +161,13 @@ private:
   int Fd = -1;
 };
 
+uint64_t fileMtimeMs(const std::string &Path) {
+  struct stat St;
+  if (::stat(Path.c_str(), &St) != 0)
+    return 0;
+  return static_cast<uint64_t>(St.st_mtime) * 1000ULL;
+}
+
 std::vector<std::string> listEntryFiles(const std::string &ObjectsDir) {
   std::vector<std::string> Files;
   DIR *D = ::opendir(ObjectsDir.c_str());
@@ -189,12 +202,28 @@ ResultStore::ResultStore(Options O) : Opts(std::move(O)) {
     return;
   std::lock_guard<std::mutex> G(M);
   loadIndexLocked();
+  gcLocked(); // enforce the configured bounds against what we inherited
 #else
   Err = "persistent result store requires a POSIX platform";
 #endif
 }
 
+ResultStore::~ResultStore() {
+  std::lock_guard<std::mutex> G(M);
+  if (usable() && AccessDirty)
+    flushAccessLocked();
+}
+
 bool ResultStore::usable() const { return Err.empty(); }
+
+uint64_t ResultStore::nowMs() const {
+  if (Opts.NowMs)
+    return Opts.NowMs();
+  using namespace std::chrono;
+  return static_cast<uint64_t>(
+      duration_cast<milliseconds>(system_clock::now().time_since_epoch())
+          .count());
+}
 
 std::string ResultStore::objectPath(const std::string &Key) const {
   return Opts.Dir + "/objects/" +
@@ -244,6 +273,13 @@ bool ResultStore::lookup(const std::string &Key, StoredResult &Out) {
     StoredResult Value;
     if (deserializeStoredResult(Payload, Value)) {
       ++Stats.Hits;
+      // Stamp the access so GC's LRU order reflects use, not just
+      // publish time. Stamps batch in memory and flush at destruction.
+      auto It = Index.find(Key);
+      if (It != Index.end()) {
+        It->second.LastAccessMs = nowMs();
+        AccessDirty = true;
+      }
       Out = std::move(Value);
       return true;
     }
@@ -260,6 +296,8 @@ bool ResultStore::lookup(const std::string &Key, StoredResult &Out) {
 bool ResultStore::writeFileAtomic(const std::string &FinalPath,
                                   const std::string &Bytes) const {
 #ifdef CSC_STORE_POSIX
+  if (Opts.TestFailWrites)
+    return false; // simulated ENOSPC: every write fails, nothing lands
   char Temp[64];
   std::snprintf(Temp, sizeof(Temp), ".tmp-%ld-%llu",
                 static_cast<long>(::getpid()),
@@ -322,8 +360,10 @@ bool ResultStore::publish(const std::string &Key,
   Rec.File = Path.substr(Path.rfind('/') + 1);
   Rec.Checksum = fnv1a64(Body.data(), Body.size());
   Rec.Bytes = Bytes.size();
+  Rec.LastAccessMs = nowMs();
   Index[Key] = Rec;
   mergeIndexOnDiskLocked(Key, Rec);
+  gcLocked(); // keep the byte budget enforced as the store grows
   return true;
 }
 
@@ -338,13 +378,13 @@ bool ResultStore::parseIndexBytes(
     return false;
   BinaryReader R(Body);
   uint32_t Count;
-  if (!R.u32(Count) || !R.fits(Count, 4 + 4 + 8 + 8))
+  if (!R.u32(Count) || !R.fits(Count, 4 + 4 + 8 + 8 + 8))
     return false;
   for (uint32_t I = 0; I != Count; ++I) {
     std::string Key;
     IndexRecord Rec;
     if (!R.str(Key) || !R.str(Rec.File) || !R.u64(Rec.Checksum) ||
-        !R.u64(Rec.Bytes))
+        !R.u64(Rec.Bytes) || !R.u64(Rec.LastAccessMs))
       return false;
     Out.emplace(std::move(Key), std::move(Rec));
   }
@@ -360,6 +400,7 @@ std::string ResultStore::indexBytesLocked(
     W.str(Rec.File);
     W.u64(Rec.Checksum);
     W.u64(Rec.Bytes);
+    W.u64(Rec.LastAccessMs);
   }
   return frame(IndexMagic, W.take());
 }
@@ -433,6 +474,10 @@ ResultStore::ScrubReport ResultStore::sweepLocked() {
       Rec.File = File;
       Rec.Checksum = Sum;
       Rec.Bytes = Bytes.size();
+      // A sweep has no access history (the index it would have lived in
+      // is gone) — approximate with the file mtime so GC's LRU order
+      // still prefers evicting genuinely old entries.
+      Rec.LastAccessMs = fileMtimeMs(Path);
       Index[Key] = Rec;
     } else {
       ++Report.Corrupt;
@@ -452,6 +497,102 @@ ResultStore::ScrubReport ResultStore::scrub() {
     return ScrubReport();
   Index.clear();
   return sweepLocked();
+}
+
+//===----------------------------------------------------------------------===//
+// GC
+//===----------------------------------------------------------------------===//
+
+ResultStore::GcReport ResultStore::gcLocked() {
+  GcReport Report;
+#ifdef CSC_STORE_POSIX
+  if (!usable() || (Opts.MaxBytes == 0 && Opts.MaxAgeMs == 0))
+    return Report;
+
+  // Entries a live ledger's completed-but-unconsumed tasks point at are
+  // off limits: evicting one would force the coordinator to recompute
+  // work the fleet already did (still correct, but the one thing the
+  // lease protocol exists to avoid).
+  std::set<std::string> Pinned;
+  for (const std::string &K : TaskLedger::pinnedKeys(Opts.Dir + "/ledger.bin"))
+    Pinned.insert(K);
+
+  uint64_t Now = nowMs();
+  uint64_t Total = 0;
+  // (LastAccess, Key): oldest-first eviction order for the size pass.
+  std::vector<std::pair<uint64_t, std::string>> ByAge;
+  for (const auto &[Key, Rec] : Index) {
+    Total += Rec.Bytes;
+    ByAge.emplace_back(Rec.LastAccessMs, Key);
+  }
+  std::sort(ByAge.begin(), ByAge.end());
+
+  std::vector<std::string> Evict;
+  for (const auto &[Access, Key] : ByAge) {
+    bool TooOld = Opts.MaxAgeMs != 0 && Access + Opts.MaxAgeMs < Now;
+    bool OverBudget = Opts.MaxBytes != 0 && Total > Opts.MaxBytes;
+    if (!TooOld && !OverBudget)
+      break; // ByAge is oldest-first: nothing later qualifies either
+    if (Pinned.count(Key)) {
+      ++Report.Pinned;
+      continue;
+    }
+    const IndexRecord &Rec = Index[Key];
+    Total -= Rec.Bytes;
+    Report.FreedBytes += Rec.Bytes;
+    Evict.push_back(Key);
+  }
+  if (Evict.empty())
+    return Report;
+
+  for (const std::string &Key : Evict) {
+    std::remove((Opts.Dir + "/objects/" + Index[Key].File).c_str());
+    Index.erase(Key);
+    ++Stats.GcEvictions;
+    ++Report.Evicted;
+  }
+
+  // Deletions must propagate to the shared index — a plain merge would
+  // resurrect the evicted keys from the disk copy. Under the lock: drop
+  // them from the disk records, keep everything else disk-wins.
+  ScopedFileLock Lock(Opts.Dir + "/store.lock");
+  std::map<std::string, IndexRecord> Merged;
+  std::string Bytes;
+  if (readWholeFile(Opts.Dir + "/index.bin", Bytes))
+    parseIndexBytes(Bytes, Merged);
+  for (const std::string &Key : Evict)
+    Merged.erase(Key);
+  for (const auto &KV : Index)
+    Merged.insert(KV);
+  writeFileAtomic(Opts.Dir + "/index.bin", indexBytesLocked(Merged));
+#endif
+  return Report;
+}
+
+ResultStore::GcReport ResultStore::gc() {
+  std::lock_guard<std::mutex> G(M);
+  return gcLocked();
+}
+
+void ResultStore::flushAccessLocked() {
+#ifdef CSC_STORE_POSIX
+  // Max-merge our access stamps into the shared index: another handle
+  // may have stamped the same keys later; never move a stamp backwards.
+  ScopedFileLock Lock(Opts.Dir + "/store.lock");
+  std::map<std::string, IndexRecord> Merged;
+  std::string Bytes;
+  if (readWholeFile(Opts.Dir + "/index.bin", Bytes))
+    parseIndexBytes(Bytes, Merged);
+  for (const auto &[Key, Rec] : Index) {
+    auto It = Merged.find(Key);
+    if (It == Merged.end())
+      Merged[Key] = Rec;
+    else if (It->second.LastAccessMs < Rec.LastAccessMs)
+      It->second.LastAccessMs = Rec.LastAccessMs;
+  }
+  writeFileAtomic(Opts.Dir + "/index.bin", indexBytesLocked(Merged));
+  AccessDirty = false;
+#endif
 }
 
 ResultStore::Counters ResultStore::counters() const {

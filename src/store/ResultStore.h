@@ -54,6 +54,7 @@
 
 #include "store/ResultCodec.h"
 
+#include <functional>
 #include <map>
 #include <mutex>
 #include <string>
@@ -87,6 +88,21 @@ public:
     /// does — the self-repair mode. Off, corrupt files are left in place
     /// (still misses) for post-mortem inspection.
     bool Repair = true;
+    /// GC byte budget for objects/ (0 = unbounded). When the validated
+    /// entries exceed it, the least-recently-accessed ones are evicted
+    /// until the survivors fit — except entries pinned by a live task
+    /// ledger (`<Dir>/ledger.bin`), which a coordinator still needs.
+    uint64_t MaxBytes = 0;
+    /// GC age bound in milliseconds (0 = unbounded): entries not
+    /// accessed for longer are evicted regardless of the byte budget.
+    uint64_t MaxAgeMs = 0;
+    /// Clock in milliseconds for access stamps and age math (wall clock
+    /// by default — stamps are shared across processes). Tests inject a
+    /// fake clock to step through age schedules.
+    std::function<uint64_t()> NowMs;
+    /// Fault injection: fail every file write, as ENOSPC would. The
+    /// store must degrade to counted publish failures, never crash.
+    bool TestFailWrites = false;
   };
 
   /// Monotonic per-handle statistics (never persisted).
@@ -97,6 +113,7 @@ public:
     uint64_t PublishFailures = 0;
     uint64_t CorruptEvictions = 0; ///< Entries failing validation.
     uint64_t IndexRebuilds = 0;    ///< Invalid-index recovery sweeps.
+    uint64_t GcEvictions = 0;      ///< Entries retired by age/size GC.
   };
 
   /// One full-store validation sweep's outcome.
@@ -106,10 +123,23 @@ public:
     uint64_t Bytes = 0;   ///< Total size of the valid entries.
   };
 
+  /// One age/size GC pass's outcome.
+  struct GcReport {
+    uint64_t Evicted = 0;
+    uint64_t FreedBytes = 0;
+    uint64_t Pinned = 0; ///< Over-budget entries spared by a live lease.
+  };
+
   /// Opens (creating if needed) the store at Options::Dir and loads the
-  /// index, rebuilding it when invalid. Never throws: an unusable
+  /// index, rebuilding it when invalid; when GC bounds are configured,
+  /// runs a GC pass over the loaded index. Never throws: an unusable
   /// directory leaves the handle in the degraded no-op state.
   explicit ResultStore(Options O);
+
+  /// Flushes access-time stamps accumulated by lookups into the on-disk
+  /// index (max-merge under the advisory lock), so LRU order survives
+  /// the handle.
+  ~ResultStore();
 
   /// False when the directory could not be created/used; error() says
   /// why. A degraded store misses every lookup and drops every publish.
@@ -131,6 +161,12 @@ public:
   /// Repair) and rewrites the index from the survivors.
   ScrubReport scrub();
 
+  /// Runs one age/size GC pass against Options::MaxBytes / MaxAgeMs:
+  /// evicts least-recently-accessed entries until the rest fit the byte
+  /// budget, plus anything older than the age bound — never an entry
+  /// whose key a live task ledger pins. A no-op when no bound is set.
+  GcReport gc();
+
   Counters counters() const;
 
 private:
@@ -138,8 +174,12 @@ private:
     std::string File; ///< Basename under objects/.
     uint64_t Checksum = 0;
     uint64_t Bytes = 0;
+    uint64_t LastAccessMs = 0; ///< LRU stamp for GC eviction order.
   };
 
+  uint64_t nowMs() const;
+  GcReport gcLocked();
+  void flushAccessLocked();
   std::string objectPath(const std::string &Key) const;
   /// Reads + fully validates one entry file. Returns 0 on a valid entry
   /// (key + payload out), 1 when the file is absent (plain miss), 2 on
@@ -167,6 +207,7 @@ private:
   std::map<std::string, IndexRecord> Index; ///< Key -> manifest record.
   Counters Stats;
   mutable uint64_t TempSeq = 0; ///< Uniquifies temp names in the handle.
+  bool AccessDirty = false; ///< Lookup stamps not yet flushed to disk.
 };
 
 } // namespace csc

@@ -1,0 +1,278 @@
+//===- FleetFaultTest.cpp - Crash chaos against the worker fleet ----------===//
+//
+// Part of the Cut-Shortcut pointer analysis reproduction.
+//
+//===----------------------------------------------------------------------===//
+//
+// End-to-end fault injection against the pull-mode worker fleet: the
+// cscpta binary (CSC_CSCPTA_PATH) is run as a coordinator over a real
+// manifest while the CSC_FLEET_TEST_* hooks crash, stop, and stall its
+// workers at adversarial points. Under every schedule the aggregate
+// JSON on stdout must stay byte-identical to a storeless run — crashes
+// may cost retries, never results — and the quarantine/fallback paths
+// must announce themselves with their pinned diagnostics.
+//
+// The EINTR regression test drives runWorkerFleet in-process under a
+// SIGALRM storm: the supervisor's waitpid loop must shrug off
+// interrupted syscalls instead of miscounting worker deaths.
+//
+//===----------------------------------------------------------------------===//
+
+#include "client/BatchExecutor.h"
+#include "store/ResultStore.h"
+#include "store/TaskLedger.h"
+
+#include <gtest/gtest.h>
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <dirent.h>
+#include <fstream>
+#include <string>
+#include <sys/stat.h>
+#include <sys/time.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+using namespace csc;
+
+namespace {
+
+void rmTree(const std::string &Dir) {
+  DIR *D = ::opendir(Dir.c_str());
+  if (D) {
+    while (struct dirent *E = ::readdir(D)) {
+      std::string Name = E->d_name;
+      if (Name == "." || Name == "..")
+        continue;
+      std::string Path = Dir + "/" + Name;
+      struct stat St;
+      if (::stat(Path.c_str(), &St) == 0 && S_ISDIR(St.st_mode))
+        rmTree(Path);
+      else
+        std::remove(Path.c_str());
+    }
+    ::closedir(D);
+  }
+  ::rmdir(Dir.c_str());
+}
+
+std::string readFile(const std::string &Path) {
+  std::ifstream In(Path, std::ios::binary);
+  return std::string(std::istreambuf_iterator<char>(In),
+                     std::istreambuf_iterator<char>());
+}
+
+/// Runs \p Command through the shell, capturing stdout/stderr under
+/// \p Dir. Returns the process exit code (-1 when it died abnormally).
+int runShell(const std::string &Command, const std::string &Dir,
+             std::string &OutBytes, std::string &ErrBytes) {
+  std::string Full = Command + " > " + Dir + "/out.bin 2> " + Dir +
+                     "/err.txt";
+  int St = std::system(Full.c_str());
+  OutBytes = readFile(Dir + "/out.bin");
+  ErrBytes = readFile(Dir + "/err.txt");
+  if (St == -1 || !WIFEXITED(St))
+    return -1;
+  return WEXITSTATUS(St);
+}
+
+class FleetFaultTest : public ::testing::Test {
+protected:
+  void SetUp() override {
+    char Template[] = "fleet-fault-XXXXXX";
+    ASSERT_NE(::mkdtemp(Template), nullptr);
+    Root = Template;
+    Manifest = Root + "/batch.json";
+
+    // Two example programs x three specs = six tasks, the same workload
+    // shape the batch smoke uses.
+    std::ofstream M(Manifest);
+    M << "{ \"entries\": [\n"
+         "  { \"label\": \"f1\", \"program\": \"" CSC_EXAMPLES_DIR
+         "/figure1.jir\", \"specs\": [\"ci\", \"csc\", \"2obj\"] },\n"
+         "  { \"label\": \"ct\", \"program\": \"" CSC_EXAMPLES_DIR
+         "/containers.jir\", \"specs\": [\"ci\", \"csc\", \"2obj\"] }\n"
+         "] }\n";
+    ASSERT_TRUE(M.good());
+    M.close();
+
+    // The storeless single-process oracle, computed once per suite.
+    if (Oracle.empty()) {
+      std::string Err;
+      ASSERT_EQ(runShell(std::string("'") + CSC_CSCPTA_PATH + "' --batch " +
+                             Manifest + " --json",
+                         Root, Oracle, Err),
+                0)
+          << Err;
+      ASSERT_FALSE(Oracle.empty());
+    }
+  }
+
+  void TearDown() override { rmTree(Root); }
+
+  /// One coordinator invocation with a fleet over a fresh store.
+  /// \p Env is a shell prefix like "CSC_FLEET_TEST_KILL_TASK=2 ".
+  int runFleet(const std::string &Env, const std::string &ExtraFlags,
+               std::string &OutBytes, std::string &ErrBytes) {
+    return runShell(Env + "'" + CSC_CSCPTA_PATH + "' --batch " + Manifest +
+                        " --json --store " + Root + "/store --workers 2 " +
+                        ExtraFlags + " --stats",
+                    Root, OutBytes, ErrBytes);
+  }
+
+  std::string Root, Manifest;
+  static std::string Oracle; ///< Storeless aggregate JSON (stdout bytes).
+};
+
+std::string FleetFaultTest::Oracle;
+
+} // namespace
+
+TEST_F(FleetFaultTest, HealthyFleetIsByteIdenticalToStorelessRun) {
+  std::string Out, Err;
+  ASSERT_EQ(runFleet("", "", Out, Err), 0) << Err;
+  EXPECT_EQ(Out, Oracle);
+  EXPECT_NE(Err.find("[cscpta] fleet stats: spawned 2 workers"),
+            std::string::npos)
+      << Err;
+  EXPECT_NE(Err.find("exited clean"), std::string::npos) << Err;
+  EXPECT_NE(Err.find("tasks 6 done, 0 quarantined"), std::string::npos)
+      << Err;
+}
+
+TEST_F(FleetFaultTest, SigkillMidTaskIsRetriedByteIdentical) {
+  // The worker holding task 2 SIGKILLs itself on its first attempt; the
+  // supervisor must observe the death, release the lease immediately,
+  // respawn, and still deliver the oracle bytes with exit 0.
+  std::string Out, Err;
+  ASSERT_EQ(runFleet("CSC_FLEET_TEST_KILL_TASK=2 "
+                     "CSC_FLEET_TEST_KILL_ATTEMPTS=1 ",
+                     "", Out, Err),
+            0)
+      << Err;
+  EXPECT_EQ(Out, Oracle);
+  EXPECT_NE(Err.find("died by signal"), std::string::npos) << Err;
+  EXPECT_NE(Err.find("tasks 6 done, 0 quarantined"), std::string::npos)
+      << Err;
+}
+
+TEST_F(FleetFaultTest, CrashLoopingTaskIsQuarantinedWithPinnedDiagnostic) {
+  // Task 2 kills every worker that touches it: after the attempt budget
+  // the ledger quarantines it, the coordinator recomputes it in-process
+  // (the aggregate must not care), and the exit code goes nonzero so CI
+  // notices the poisoned task.
+  std::string Out, Err;
+  ASSERT_EQ(runFleet("CSC_FLEET_TEST_KILL_TASK=2 ",
+                     "--max-task-attempts 2 ", Out, Err),
+            1)
+      << Err;
+  EXPECT_EQ(Out, Oracle);
+  EXPECT_NE(
+      Err.find("error: task 2 (f1: 2obj) quarantined after 2 attempts"),
+      std::string::npos)
+      << Err;
+  EXPECT_NE(Err.find("failed 2 of 2 attempts"), std::string::npos) << Err;
+  EXPECT_NE(Err.find("signal 9"), std::string::npos) << Err;
+  EXPECT_NE(Err.find("tasks 5 done, 1 quarantined"), std::string::npos)
+      << Err;
+}
+
+TEST_F(FleetFaultTest, SigstoppedWorkerLosesItsLeaseAndIsKilled) {
+  // A SIGSTOPped worker cannot heartbeat: its lease expires, the task
+  // is re-run elsewhere (or drained by the coordinator), and the
+  // straggler is killed once the ledger settles. Short TTL keeps the
+  // stall detector's 2*TTL window test-sized.
+  std::string Out, Err;
+  ASSERT_EQ(runFleet("CSC_FLEET_TEST_STOP_TASK=1 ", "--lease-ttl 300 ",
+                     Out, Err),
+            0)
+      << Err;
+  EXPECT_EQ(Out, Oracle);
+  EXPECT_NE(Err.find("straggler"), std::string::npos) << Err;
+}
+
+TEST_F(FleetFaultTest, UnusableLedgerFallsBackToInProcessExecution) {
+  // ledger.bin pre-created as a *directory*: the atomic rename in
+  // TaskLedger::create fails, the fleet never starts, and the
+  // coordinator computes the whole batch itself — same bytes, exit 0.
+  ASSERT_EQ(::mkdir((Root + "/store").c_str(), 0755), 0);
+  ASSERT_EQ(::mkdir((Root + "/store/ledger.bin").c_str(), 0755), 0);
+  std::string Out, Err;
+  ASSERT_EQ(runFleet("", "", Out, Err), 0) << Err;
+  EXPECT_EQ(Out, Oracle);
+  EXPECT_NE(Err.find("fleet task ledger unusable; running the batch "
+                     "in-process"),
+            std::string::npos)
+      << Err;
+  EXPECT_EQ(Err.find("fleet stats"), std::string::npos) << Err;
+}
+
+namespace {
+void sigalrmNoop(int) {}
+} // namespace
+
+TEST_F(FleetFaultTest, SupervisorSurvivesEintrStorm) {
+  // Regression: waitpid in the supervisor used to surface EINTR as "no
+  // child changed state", silently dropping death observations. Hammer
+  // the supervising process with SIGALRM (no SA_RESTART, so syscalls
+  // really are interrupted) for the whole fleet run.
+  struct sigaction SA, OldSA;
+  std::memset(&SA, 0, sizeof(SA));
+  SA.sa_handler = sigalrmNoop;
+  SA.sa_flags = 0; // deliberately not SA_RESTART
+  ASSERT_EQ(::sigaction(SIGALRM, &SA, &OldSA), 0);
+  struct itimerval Timer, OldTimer;
+  Timer.it_interval.tv_sec = 0;
+  Timer.it_interval.tv_usec = 2000; // every 2ms
+  Timer.it_value = Timer.it_interval;
+  ASSERT_EQ(::setitimer(ITIMER_REAL, &Timer, &OldTimer), 0);
+
+  std::vector<BatchEntry> Entries;
+  std::string LoadErr;
+  ASSERT_TRUE(loadBatchManifest(Manifest, Entries, LoadErr)) << LoadErr;
+
+  WorkerFleetOptions FO;
+  FO.Exe = CSC_CSCPTA_PATH;
+  FO.ManifestPath = Manifest;
+  FO.StoreDir = Root + "/store";
+  FO.Workers = 2;
+  FO.BatchFingerprint = batchFingerprint(Entries);
+  FO.TaskCount = static_cast<uint32_t>(countBatchTasks(Entries));
+  {
+    ResultStore::Options SO;
+    SO.Dir = FO.StoreDir;
+    ResultStore Warm(SO); // pre-create the store dir for the workers
+    ASSERT_TRUE(Warm.usable()) << Warm.error();
+  }
+  FleetReport FR = runWorkerFleet(FO);
+
+  // Restore signal state before asserting, so a failure can't leave the
+  // rest of the binary under the alarm storm.
+  ::setitimer(ITIMER_REAL, &OldTimer, nullptr);
+  ::sigaction(SIGALRM, &OldSA, nullptr);
+
+  ASSERT_TRUE(FR.LedgerOk);
+  EXPECT_TRUE(FR.Final.drained());
+  EXPECT_EQ(FR.Final.Done, 6u);
+  EXPECT_EQ(FR.Final.Quarantined, 0u);
+  // Every spawned worker's death must have been observed and classified
+  // — an EINTR-dropped waitpid would leak workers into the straggler
+  // killer or the fork bookkeeping.
+  EXPECT_EQ(FR.CleanExits, FR.Spawned);
+  EXPECT_EQ(FR.Signaled, 0u);
+  EXPECT_EQ(FR.StragglersKilled, 0u);
+
+  // The fleet's published results serve a warm in-process run that is
+  // byte-identical to a storeless one.
+  ResultStore::Options SO;
+  SO.Dir = FO.StoreDir;
+  BatchExecutor::Options BO;
+  BO.Store = std::make_shared<ResultStore>(SO);
+  BatchReport WarmReport = BatchExecutor(BO).run(Entries);
+  EXPECT_EQ(WarmReport.StoreHits, 6u);
+  EXPECT_EQ(WarmReport.aggregateJson(),
+            BatchExecutor().run(Entries).aggregateJson());
+}

@@ -17,6 +17,7 @@
 
 #include "client/BatchExecutor.h"
 #include "store/ResultStore.h"
+#include "store/TaskLedger.h"
 #include "support/Rng.h"
 #include "workload/Workload.h"
 
@@ -110,6 +111,38 @@ protected:
     return Store;
   }
 
+  /// A handle on the fixture's fake clock, optionally with GC bounds.
+  std::shared_ptr<ResultStore> openGc(uint64_t MaxBytes,
+                                      uint64_t MaxAgeMs) {
+    ResultStore::Options O;
+    O.Dir = Dir;
+    O.MaxBytes = MaxBytes;
+    O.MaxAgeMs = MaxAgeMs;
+    O.NowMs = [this] { return Clock; };
+    auto Store = std::make_shared<ResultStore>(O);
+    EXPECT_TRUE(Store->usable()) << Store->error();
+    return Store;
+  }
+
+  /// Store keys of all six runs, in task order.
+  static std::vector<std::string> storeKeys(const BatchReport &R) {
+    std::vector<std::string> Keys;
+    for (const BatchEntryResult &E : R.Entries)
+      for (const BatchRunResult &Run : E.Runs)
+        Keys.push_back(Run.StoreKey);
+    return Keys;
+  }
+
+  uint64_t objectBytes() {
+    uint64_t Total = 0;
+    for (const std::string &F : listFiles(Dir + "/objects")) {
+      struct stat St;
+      if (::stat(F.c_str(), &St) == 0)
+        Total += static_cast<uint64_t>(St.st_size);
+    }
+    return Total;
+  }
+
   /// One fresh executor pass against \p Store; the aggregate must be
   /// byte-identical to the storeless oracle no matter what the store has
   /// been through.
@@ -133,6 +166,7 @@ protected:
   std::string Root, Dir;
   std::vector<BatchEntry> Entries;
   std::string Reference;
+  uint64_t Clock = 1000000; ///< Fake clock for GC schedules, ms.
 };
 
 } // namespace
@@ -267,4 +301,143 @@ TEST_F(StoreFaultTest, UnusableDirectoryDegradesToNoOpStore) {
   BO.Store = Store;
   BatchExecutor Exec(BO);
   EXPECT_EQ(Exec.run(Entries).aggregateJson(), Reference);
+}
+
+TEST_F(StoreFaultTest, ScrubOfAFreshOrDegradedStoreIsAZeroNoOp) {
+  // Fresh directory, nothing published yet: scrub and gc both report
+  // zeros and leave the (empty) store behind.
+  std::shared_ptr<ResultStore> Store = open();
+  ResultStore::ScrubReport S = Store->scrub();
+  EXPECT_EQ(S.Valid, 0u);
+  EXPECT_EQ(S.Corrupt, 0u);
+  EXPECT_EQ(S.Bytes, 0u);
+  ResultStore::GcReport G = Store->gc();
+  EXPECT_EQ(G.Evicted, 0u);
+  EXPECT_EQ(G.Pinned, 0u);
+  EXPECT_TRUE(Store->usable());
+
+  // A store whose directory never came into existence (degraded
+  // handle): the same calls are no-ops, not crashes.
+  ResultStore::Options O;
+  O.Dir = Root + "/missing-parent/store";
+  writeFile(Root + "/missing-parent", "a file where a dir must go");
+  ResultStore Degraded(O);
+  ASSERT_FALSE(Degraded.usable());
+  S = Degraded.scrub();
+  EXPECT_EQ(S.Valid, 0u);
+  EXPECT_EQ(S.Corrupt, 0u);
+  G = Degraded.gc();
+  EXPECT_EQ(G.Evicted, 0u);
+}
+
+TEST_F(StoreFaultTest, PublishUnderWriteFailureIsACountedNoOp) {
+  // Fault-injected ENOSPC: every file write fails. Publishes must
+  // degrade to counted failures and the batch must still be the oracle.
+  ResultStore::Options O;
+  O.Dir = Dir;
+  O.TestFailWrites = true;
+  auto Enospc = std::make_shared<ResultStore>(O);
+  ASSERT_TRUE(Enospc->usable()) << Enospc->error();
+  BatchReport Report = runWith(Enospc);
+  EXPECT_EQ(Report.StoreHits, 0u);
+  ResultStore::Counters C = Enospc->counters();
+  EXPECT_EQ(C.Publishes, 0u);
+  EXPECT_EQ(C.PublishFailures, 6u);
+  EXPECT_EQ(listFiles(Dir + "/objects").size(), 0u); // nothing landed
+
+  // Reads are unaffected: warm the store healthily, then a
+  // write-failing handle still serves every hit.
+  warmObjects();
+  auto Reader = std::make_shared<ResultStore>(O);
+  EXPECT_EQ(runWith(Reader).StoreHits, 6u);
+  EXPECT_EQ(Reader->counters().PublishFailures, 0u);
+}
+
+TEST_F(StoreFaultTest, GcByteBudgetEvictsLeastRecentlyUsedFirst) {
+  // Warm at T0 on the fake clock, then touch two entries at T1: they
+  // become the hot set a byte-budgeted reopen must keep.
+  std::vector<std::string> Keys = storeKeys(runWith(openGc(0, 0)));
+  ASSERT_EQ(Keys.size(), 6u);
+  uint64_t Total = objectBytes();
+  ASSERT_GT(Total, 0u);
+
+  Clock += 60000;
+  {
+    std::shared_ptr<ResultStore> Toucher = openGc(0, 0);
+    StoredResult R;
+    EXPECT_TRUE(Toucher->lookup(Keys[1], R));
+    EXPECT_TRUE(Toucher->lookup(Keys[4], R));
+  } // destructor flushes the access stamps into the index
+
+  Clock += 1000;
+  uint64_t Budget = Total / 2; // room for ~3 of 6 entries
+  std::shared_ptr<ResultStore> Store = openGc(Budget, 0);
+  EXPECT_GE(Store->counters().GcEvictions, 1u);
+  EXPECT_LE(objectBytes(), Budget);
+
+  // The two recently-touched entries were the newest and must survive.
+  StoredResult R;
+  EXPECT_TRUE(Store->lookup(Keys[1], R));
+  EXPECT_TRUE(Store->lookup(Keys[4], R));
+
+  // The evicted entries recompute; the aggregate never changes.
+  BatchReport Report = runWith(Store);
+  EXPECT_GE(Report.StoreHits, 2u);
+  EXPECT_LE(objectBytes(), Budget); // per-publish GC re-enforces
+}
+
+TEST_F(StoreFaultTest, GcAgeBoundEvictsEntriesNotAccessedInTime) {
+  runWith(openGc(0, 0)); // warm, all stamps at the fake clock's T0
+  ASSERT_EQ(listFiles(Dir + "/objects").size(), 6u);
+
+  Clock += 10000; // everything is now 10s stale
+  std::shared_ptr<ResultStore> Store = openGc(0, /*MaxAgeMs=*/5000);
+  EXPECT_EQ(Store->counters().GcEvictions, 6u);
+  EXPECT_EQ(listFiles(Dir + "/objects").size(), 0u);
+
+  // Recompute-and-republish restores the store; fresh stamps survive
+  // the same age bound.
+  BatchReport Report = runWith(Store);
+  EXPECT_EQ(Report.StoreMisses, 6u);
+  EXPECT_EQ(listFiles(Dir + "/objects").size(), 6u);
+  EXPECT_EQ(runWith(openGc(0, 5000)).StoreHits, 6u);
+}
+
+TEST_F(StoreFaultTest, GcNeverEvictsKeysPinnedByALiveTaskLedger) {
+  std::vector<std::string> Keys = storeKeys(runWith(openGc(0, 0)));
+  ASSERT_EQ(Keys.size(), 6u);
+
+  // A live ledger says a coordinator has yet to consume all six
+  // results: even an absurd 1-byte budget must not evict them.
+  {
+    TaskLedger::Options LO;
+    LO.Path = Dir + "/ledger.bin";
+    TaskLedger Ledger(LO);
+    TaskLedger::Config LC;
+    LC.TaskCount = 6;
+    ASSERT_TRUE(Ledger.create(LC));
+    for (uint32_t T = 0; T != 6; ++T) {
+      TaskLedger::Lease L;
+      uint64_t RetryMs = 0;
+      ASSERT_EQ(Ledger.acquire(1, L, RetryMs),
+                TaskLedger::AcquireStatus::Acquired);
+      ASSERT_TRUE(Ledger.complete(L, 1, Keys[T]));
+    }
+  }
+  Clock += 1000;
+  std::shared_ptr<ResultStore> Store = openGc(/*MaxBytes=*/1, 0);
+  ResultStore::GcReport G = Store->gc();
+  EXPECT_EQ(G.Evicted, 0u);
+  EXPECT_EQ(G.Pinned, 6u);
+  EXPECT_EQ(listFiles(Dir + "/objects").size(), 6u);
+
+  // The coordinator consumed everything and removed the ledger: the
+  // pins are gone and the budget finally applies.
+  std::remove((Dir + "/ledger.bin").c_str());
+  std::remove((Dir + "/ledger.bin.lock").c_str());
+  G = Store->gc();
+  EXPECT_EQ(G.Evicted, 6u);
+  EXPECT_GT(G.FreedBytes, 0u);
+  EXPECT_EQ(listFiles(Dir + "/objects").size(), 0u);
+  runWith(Store); // recomputes; still the oracle
 }

@@ -1,0 +1,377 @@
+//===- TaskLedgerTest.cpp - Lease protocol unit tests ---------------------===//
+//
+// Part of the Cut-Shortcut pointer analysis reproduction.
+//
+//===----------------------------------------------------------------------===//
+//
+// The task ledger's lease protocol under a fake clock: acquire/renew/
+// complete lifecycles, expiry reclamation with exponential backoff,
+// quarantine after the attempt budget with the pinned diagnostic,
+// supervisor-observed worker death, stale-heartbeat rejection after a
+// reclaim, GC key pinning, and the ENOSPC / corrupt-file degradation
+// paths. Everything here is single-process; the cross-process story is
+// FleetFaultTest's job.
+//
+//===----------------------------------------------------------------------===//
+
+#include "store/TaskLedger.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <unistd.h>
+#include <vector>
+
+using namespace csc;
+
+namespace {
+
+class TaskLedgerTest : public ::testing::Test {
+protected:
+  void SetUp() override {
+    char Template[] = "task-ledger-XXXXXX";
+    ASSERT_NE(::mkdtemp(Template), nullptr);
+    Root = Template;
+    Path = Root + "/ledger.bin";
+  }
+
+  void TearDown() override {
+    std::remove(Path.c_str());
+    std::remove((Path + ".lock").c_str());
+    ::rmdir(Root.c_str());
+  }
+
+  /// A ledger handle driven by the shared fake clock.
+  TaskLedger open(bool FailWrites = false) {
+    TaskLedger::Options O;
+    O.Path = Path;
+    O.NowMs = [this] { return Clock; };
+    O.TestFailWrites = FailWrites;
+    return TaskLedger(O);
+  }
+
+  TaskLedger::Config config(uint32_t Tasks, uint32_t MaxAttempts = 3) {
+    TaskLedger::Config C;
+    C.BatchFingerprint = 0xfeedULL;
+    C.TaskCount = Tasks;
+    C.LeaseTtlMs = 1000;
+    C.MaxAttempts = MaxAttempts;
+    C.BackoffBaseMs = 50;
+    return C;
+  }
+
+  std::string Root, Path;
+  uint64_t Clock = 1000000; ///< Fake wall clock, milliseconds.
+};
+
+} // namespace
+
+TEST_F(TaskLedgerTest, CreateConfigRoundTripAndFingerprintGuard) {
+  TaskLedger L = open();
+  ASSERT_TRUE(L.create(config(4)));
+
+  TaskLedger::Config C;
+  ASSERT_TRUE(L.config(C));
+  EXPECT_EQ(C.BatchFingerprint, 0xfeedULL);
+  EXPECT_EQ(C.TaskCount, 4u);
+  EXPECT_EQ(C.LeaseTtlMs, 1000u);
+  EXPECT_EQ(C.MaxAttempts, 3u);
+
+  // A worker handed a ledger for a different manifest must refuse it.
+  ASSERT_TRUE(L.config(C, 0xfeedULL));
+  EXPECT_FALSE(L.config(C, 0xbadULL));
+
+  TaskLedger::Summary S;
+  ASSERT_TRUE(L.summary(S));
+  EXPECT_EQ(S.Total, 4u);
+  EXPECT_EQ(S.Pending, 4u);
+  EXPECT_FALSE(S.drained());
+}
+
+TEST_F(TaskLedgerTest, AcquireLeasesLowestTaskAndCompleteDrains) {
+  TaskLedger L = open();
+  ASSERT_TRUE(L.create(config(3)));
+
+  uint64_t RetryMs = 0;
+  std::vector<TaskLedger::Lease> Leases(3);
+  for (uint32_t I = 0; I != 3; ++I) {
+    ASSERT_EQ(L.acquire(/*Worker=*/100 + I, Leases[I], RetryMs),
+              TaskLedger::AcquireStatus::Acquired);
+    EXPECT_EQ(Leases[I].Task, I); // lowest runnable task first
+    EXPECT_EQ(Leases[I].Attempt, 1u);
+  }
+
+  // All leased: nothing runnable until the nearest lease expires.
+  TaskLedger::Lease Extra;
+  ASSERT_EQ(L.acquire(999, Extra, RetryMs),
+            TaskLedger::AcquireStatus::Retry);
+  EXPECT_GE(RetryMs, 1u);
+  EXPECT_LE(RetryMs, 1000u);
+
+  ASSERT_TRUE(L.renew(Leases[0], 100));
+  for (uint32_t I = 0; I != 3; ++I)
+    ASSERT_TRUE(L.complete(Leases[I], 100 + I, "key-" + std::to_string(I)));
+
+  TaskLedger::Summary S;
+  ASSERT_TRUE(L.summary(S));
+  EXPECT_EQ(S.Done, 3u);
+  EXPECT_TRUE(S.drained());
+  ASSERT_EQ(L.acquire(999, Extra, RetryMs),
+            TaskLedger::AcquireStatus::Drained);
+
+  // Completing an already-done task is idempotent success.
+  EXPECT_TRUE(L.complete(Leases[0], 100, "key-0"));
+
+  TaskLedger::Counters C = L.counters();
+  EXPECT_EQ(C.Acquires, 3u);
+  EXPECT_EQ(C.Renews, 1u);
+  EXPECT_EQ(C.Completes, 3u);
+  EXPECT_EQ(C.IoFailures, 0u);
+}
+
+TEST_F(TaskLedgerTest, ExpiredLeaseIsReclaimedBehindExponentialBackoff) {
+  TaskLedger L = open();
+  ASSERT_TRUE(L.create(config(1)));
+
+  TaskLedger::Lease First, Second;
+  uint64_t RetryMs = 0;
+  ASSERT_EQ(L.acquire(1, First, RetryMs),
+            TaskLedger::AcquireStatus::Acquired);
+
+  // TTL passes un-renewed: the next acquire reclaims, but the retry
+  // backoff (base << 0 = 50ms for attempt 1) gates immediate re-lease.
+  Clock += 1000;
+  ASSERT_EQ(L.acquire(2, Second, RetryMs),
+            TaskLedger::AcquireStatus::Retry);
+  EXPECT_EQ(RetryMs, 50u);
+  EXPECT_EQ(L.counters().Reclaims, 1u);
+
+  Clock += RetryMs;
+  ASSERT_EQ(L.acquire(2, Second, RetryMs),
+            TaskLedger::AcquireStatus::Acquired);
+  EXPECT_EQ(Second.Task, 0u);
+  EXPECT_EQ(Second.Attempt, 2u);
+
+  // Second expiry doubles the backoff: base << 1 = 100ms.
+  Clock += 1000;
+  ASSERT_EQ(L.acquire(3, Second, RetryMs),
+            TaskLedger::AcquireStatus::Retry);
+  EXPECT_EQ(RetryMs, 100u);
+}
+
+TEST_F(TaskLedgerTest, RenewExtendsTheLeaseAcrossManyTtls) {
+  TaskLedger L = open();
+  ASSERT_TRUE(L.create(config(1)));
+
+  TaskLedger::Lease Lease, Other;
+  uint64_t RetryMs = 0;
+  ASSERT_EQ(L.acquire(7, Lease, RetryMs),
+            TaskLedger::AcquireStatus::Acquired);
+
+  // A heartbeating worker holds its lease across 10 TTLs of wall time.
+  for (int I = 0; I != 10; ++I) {
+    Clock += 900; // renew before the 1000ms TTL runs out
+    ASSERT_TRUE(L.renew(Lease, 7)) << "renewal " << I;
+    ASSERT_EQ(L.acquire(8, Other, RetryMs),
+              TaskLedger::AcquireStatus::Retry);
+  }
+  EXPECT_EQ(L.counters().Reclaims, 0u);
+  ASSERT_TRUE(L.complete(Lease, 7, "key"));
+}
+
+TEST_F(TaskLedgerTest, StaleRenewAndCompleteAfterReclaimAreRejected) {
+  TaskLedger L = open();
+  ASSERT_TRUE(L.create(config(1)));
+
+  TaskLedger::Lease Stale, Fresh;
+  uint64_t RetryMs = 0;
+  ASSERT_EQ(L.acquire(1, Stale, RetryMs),
+            TaskLedger::AcquireStatus::Acquired);
+
+  // Worker 1 hangs; its lease expires and worker 2 takes attempt 2.
+  Clock += 1000 + 50;
+  ASSERT_EQ(L.acquire(2, Fresh, RetryMs),
+            TaskLedger::AcquireStatus::Retry); // reclaim pass
+  Clock += RetryMs;
+  ASSERT_EQ(L.acquire(2, Fresh, RetryMs),
+            TaskLedger::AcquireStatus::Acquired);
+  EXPECT_EQ(Fresh.Attempt, 2u);
+
+  // Worker 1 wakes up: its heartbeat and completion are both dead.
+  EXPECT_FALSE(L.renew(Stale, 1));
+  EXPECT_FALSE(L.complete(Stale, 1, "stale-key"));
+
+  // Even the same worker id cannot revive an old attempt.
+  EXPECT_FALSE(L.renew(TaskLedger::Lease{0, 1}, 2));
+
+  ASSERT_TRUE(L.complete(Fresh, 2, "fresh-key"));
+  TaskLedger::Config Cfg;
+  std::vector<TaskLedger::Task> Tasks;
+  ASSERT_TRUE(L.snapshot(Cfg, Tasks));
+  ASSERT_EQ(Tasks.size(), 1u);
+  EXPECT_EQ(Tasks[0].Key, "fresh-key");
+}
+
+TEST_F(TaskLedgerTest, QuarantineAfterMaxAttemptsPinsTheDiagnostic) {
+  TaskLedger L = open();
+  ASSERT_TRUE(L.create(config(1, /*MaxAttempts=*/2)));
+
+  TaskLedger::Lease Lease;
+  uint64_t RetryMs = 0;
+  for (uint32_t Attempt = 1; Attempt <= 2; ++Attempt) {
+    while (L.acquire(40 + Attempt, Lease, RetryMs) !=
+           TaskLedger::AcquireStatus::Acquired)
+      Clock += RetryMs;
+    EXPECT_EQ(Lease.Attempt, Attempt);
+    Clock += 1000; // lease dies un-renewed
+  }
+  ASSERT_EQ(L.acquire(99, Lease, RetryMs),
+            TaskLedger::AcquireStatus::Drained);
+  EXPECT_EQ(L.counters().Quarantines, 1u);
+
+  TaskLedger::Summary S;
+  ASSERT_TRUE(L.summary(S));
+  EXPECT_EQ(S.Quarantined, 1u);
+  EXPECT_EQ(S.Done, 0u);
+  EXPECT_TRUE(S.drained());
+
+  TaskLedger::Config Cfg;
+  std::vector<TaskLedger::Task> Tasks;
+  ASSERT_TRUE(L.snapshot(Cfg, Tasks));
+  ASSERT_EQ(Tasks.size(), 1u);
+  EXPECT_EQ(Tasks[0].State, TaskLedger::TaskState::Quarantined);
+  EXPECT_EQ(Tasks[0].Diag, "failed 2 of 2 attempts; last worker 42: "
+                           "lease expired un-renewed");
+}
+
+TEST_F(TaskLedgerTest, NoteWorkerDeathExpiresLeasesAndPinsTheCause) {
+  TaskLedger L = open();
+  ASSERT_TRUE(L.create(config(1, /*MaxAttempts=*/1)));
+
+  TaskLedger::Lease Lease;
+  uint64_t RetryMs = 0;
+  ASSERT_EQ(L.acquire(55, Lease, RetryMs),
+            TaskLedger::AcquireStatus::Acquired);
+
+  // The supervisor saw worker 55 die: no TTL wait, the cause is kept,
+  // and with a single-attempt budget the task quarantines right away.
+  ASSERT_TRUE(L.noteWorkerDeath(55, "signal 9"));
+  ASSERT_TRUE(L.reclaimExpired());
+  EXPECT_EQ(L.counters().Quarantines, 1u);
+
+  TaskLedger::Config Cfg;
+  std::vector<TaskLedger::Task> Tasks;
+  ASSERT_TRUE(L.snapshot(Cfg, Tasks));
+  EXPECT_EQ(Tasks[0].Diag,
+            "failed 1 of 1 attempts; last worker 55: signal 9");
+
+  // Reporting the death of an unknown worker is a harmless no-op.
+  EXPECT_TRUE(L.noteWorkerDeath(777, "signal 11"));
+}
+
+TEST_F(TaskLedgerTest, PinnedKeysListCompletedResultsOfALiveLedger) {
+  EXPECT_TRUE(TaskLedger::pinnedKeys(Path).empty()); // no file yet
+
+  TaskLedger L = open();
+  ASSERT_TRUE(L.create(config(3)));
+  EXPECT_TRUE(TaskLedger::pinnedKeys(Path).empty()); // nothing done yet
+
+  TaskLedger::Lease A, B;
+  uint64_t RetryMs = 0;
+  ASSERT_EQ(L.acquire(1, A, RetryMs), TaskLedger::AcquireStatus::Acquired);
+  ASSERT_EQ(L.acquire(1, B, RetryMs), TaskLedger::AcquireStatus::Acquired);
+  ASSERT_TRUE(L.complete(A, 1, "key-a"));
+  ASSERT_TRUE(L.complete(B, 1, "")); // spec error: nothing published
+
+  std::vector<std::string> Keys = TaskLedger::pinnedKeys(Path);
+  ASSERT_EQ(Keys.size(), 1u);
+  EXPECT_EQ(Keys[0], "key-a");
+}
+
+TEST_F(TaskLedgerTest, WriteFailureDegradesToErrorNotCorruption) {
+  // ENOSPC from the first write: create fails, counted.
+  TaskLedger Broken = open(/*FailWrites=*/true);
+  EXPECT_FALSE(Broken.create(config(2)));
+  EXPECT_GE(Broken.counters().IoFailures, 1u);
+
+  // A healthy handle seeds the ledger; a write-failing handle can still
+  // read it but every mutation degrades to Error/false — and the file
+  // keeps serving the healthy handle afterwards.
+  TaskLedger Good = open();
+  ASSERT_TRUE(Good.create(config(2)));
+
+  TaskLedger Enospc = open(/*FailWrites=*/true);
+  TaskLedger::Config C;
+  EXPECT_TRUE(Enospc.config(C)); // reads still work
+  TaskLedger::Lease Lease;
+  uint64_t RetryMs = 0;
+  EXPECT_EQ(Enospc.acquire(1, Lease, RetryMs),
+            TaskLedger::AcquireStatus::Error);
+  EXPECT_GE(Enospc.counters().IoFailures, 1u);
+
+  ASSERT_EQ(Good.acquire(2, Lease, RetryMs),
+            TaskLedger::AcquireStatus::Acquired);
+  EXPECT_EQ(Lease.Task, 0u); // the failed acquire leased nothing
+}
+
+TEST_F(TaskLedgerTest, CorruptOrTruncatedLedgerFileIsAnErrorStatus) {
+  TaskLedger L = open();
+  ASSERT_TRUE(L.create(config(2)));
+
+  // Flip one body byte: the checksum must reject the whole file.
+  {
+    std::ifstream In(Path, std::ios::binary);
+    std::string Bytes((std::istreambuf_iterator<char>(In)),
+                      std::istreambuf_iterator<char>());
+    ASSERT_GT(Bytes.size(), 21u);
+    Bytes[21] = static_cast<char>(Bytes[21] ^ 0x20);
+    std::ofstream Out(Path, std::ios::binary | std::ios::trunc);
+    Out.write(Bytes.data(), static_cast<std::streamsize>(Bytes.size()));
+  }
+  TaskLedger::Config C;
+  EXPECT_FALSE(L.config(C));
+  TaskLedger::Lease Lease;
+  uint64_t RetryMs = 0;
+  EXPECT_EQ(L.acquire(1, Lease, RetryMs), TaskLedger::AcquireStatus::Error);
+  EXPECT_TRUE(TaskLedger::pinnedKeys(Path).empty());
+
+  // Truncation mid-header is equally fatal and equally graceful.
+  {
+    std::ofstream Out(Path, std::ios::binary | std::ios::trunc);
+    Out.write("CSCPTAL1", 8);
+  }
+  EXPECT_FALSE(L.config(C));
+  EXPECT_GE(L.counters().IoFailures, 2u);
+
+  // create() resets the damage in place.
+  ASSERT_TRUE(L.create(config(2)));
+  EXPECT_TRUE(L.config(C));
+}
+
+TEST_F(TaskLedgerTest, TwoHandlesShareOneLedgerWithoutDoubleLeasing) {
+  // Two handles simulate two processes on the shared file: every task
+  // is leased exactly once, and completions interleave safely.
+  TaskLedger A = open(), B = open();
+  ASSERT_TRUE(A.create(config(4)));
+
+  TaskLedger::Lease LA, LB;
+  uint64_t RetryMs = 0;
+  ASSERT_EQ(A.acquire(1, LA, RetryMs), TaskLedger::AcquireStatus::Acquired);
+  ASSERT_EQ(B.acquire(2, LB, RetryMs), TaskLedger::AcquireStatus::Acquired);
+  EXPECT_NE(LA.Task, LB.Task);
+
+  ASSERT_TRUE(A.complete(LA, 1, "a"));
+  ASSERT_TRUE(B.complete(LB, 2, "b"));
+  ASSERT_EQ(A.acquire(1, LA, RetryMs), TaskLedger::AcquireStatus::Acquired);
+  ASSERT_EQ(B.acquire(2, LB, RetryMs), TaskLedger::AcquireStatus::Acquired);
+  EXPECT_NE(LA.Task, LB.Task);
+  ASSERT_TRUE(A.complete(LA, 1, "c"));
+  ASSERT_TRUE(B.complete(LB, 2, "d"));
+
+  TaskLedger::Summary S;
+  ASSERT_TRUE(B.summary(S));
+  EXPECT_TRUE(S.drained());
+  EXPECT_EQ(S.Done, 4u);
+}

@@ -32,10 +32,20 @@
 //     --store <dir>        persistent result store: completed runs are
 //                          published to <dir> and served back on later
 //                          invocations (single runs, --batch, --serve)
-//     --workers <n>        shard the batch across n worker processes
-//                          coordinating through --store
-//     --worker-shard <k/N> internal (spawned by --workers): compute only
-//                          every Nth task starting at k
+//     --workers <n>        distribute the batch over n pull-mode worker
+//                          processes coordinating through a task ledger
+//                          in --store (crash-tolerant; see docs/CLI.md)
+//     --worker-shard <k/N> internal legacy mode: compute only every Nth
+//                          task starting at k (static slicing)
+//     --worker-pull        internal (spawned by --workers): pull task
+//                          leases from the store's ledger until drained
+//     --lease-ttl <ms>     task lease TTL for --workers (default 5000)
+//     --max-task-attempts <n>  quarantine a task after n failed leases
+//                          (default 3)
+//     --store-max-bytes <n>    GC: evict least-recently-used store
+//                          entries once objects/ exceeds n bytes
+//     --store-max-age <s>      GC: evict store entries unused for more
+//                          than s seconds
 //     --scrub              validate every --store entry and exit
 //     --stats              per-run solver/SCC statistics on stderr (with
 //                          --batch: result-cache statistics)
@@ -88,9 +98,14 @@ int usage(const char *Prog) {
       "  --cache-budget <n> batch result-cache byte budget (0 = unlimited)\n"
       "  --store <dir>      persistent result store (serves repeat runs\n"
       "                     across processes; see docs/CLI.md)\n"
-      "  --workers <n>      shard --batch across n worker processes\n"
-      "                     coordinating through --store\n"
-      "  --worker-shard k/N internal: compute only shard k of N\n"
+      "  --workers <n>      distribute --batch over n pull-mode workers\n"
+      "                     coordinating through a task ledger in --store\n"
+      "  --worker-shard k/N internal: compute only static shard k of N\n"
+      "  --worker-pull      internal: pull task leases until drained\n"
+      "  --lease-ttl <ms>   task lease TTL for --workers (default 5000)\n"
+      "  --max-task-attempts <n> quarantine a task after n failed leases\n"
+      "  --store-max-bytes <n>  GC --store down to n bytes (LRU)\n"
+      "  --store-max-age <s>    GC --store entries unused for s seconds\n"
       "  --scrub            validate every --store entry and exit\n"
       "  --stats            per-run solver/SCC statistics on stderr\n"
       "  --no-stdlib        do not prepend the modelled standard library\n"
@@ -111,6 +126,11 @@ struct CliOptions {
   unsigned ShardIndex = 0; ///< --worker-shard k/N.
   unsigned ShardCount = 1;
   bool ShardSet = false; ///< --worker-shard given (worker process mode).
+  bool WorkerPull = false; ///< --worker-pull (lease-pulling worker).
+  uint64_t LeaseTtlMs = 5000;
+  unsigned MaxTaskAttempts = 3;
+  uint64_t StoreMaxBytes = 0; ///< 0 = no byte-budget GC.
+  uint64_t StoreMaxAgeS = 0;  ///< 0 = no age GC.
   bool Scrub = false;
   double BudgetMs = 0;
   uint64_t WorkBudget = ~0ULL;
@@ -224,6 +244,8 @@ std::shared_ptr<ResultStore> openStore(const CliOptions &Cli) {
     return nullptr;
   ResultStore::Options SO;
   SO.Dir = Cli.StoreDir;
+  SO.MaxBytes = Cli.StoreMaxBytes;
+  SO.MaxAgeMs = Cli.StoreMaxAgeS * 1000;
   auto Store = std::make_shared<ResultStore>(SO);
   if (!Store->usable()) {
     std::fprintf(stderr,
@@ -243,14 +265,15 @@ void printStoreStats(const ResultStore &Store, uint64_t Served,
   std::fprintf(stderr,
                "[cscpta] store stats: served %llu/%llu runs, hits %llu, "
                "misses %llu, publishes %llu, corrupt_evictions %llu, "
-               "index_rebuilds %llu\n",
+               "index_rebuilds %llu, gc_evictions %llu\n",
                static_cast<unsigned long long>(Served),
                static_cast<unsigned long long>(Total),
                static_cast<unsigned long long>(C.Hits),
                static_cast<unsigned long long>(C.Misses),
                static_cast<unsigned long long>(C.Publishes),
                static_cast<unsigned long long>(C.CorruptEvictions),
-               static_cast<unsigned long long>(C.IndexRebuilds));
+               static_cast<unsigned long long>(C.IndexRebuilds),
+               static_cast<unsigned long long>(C.GcEvictions));
 }
 
 /// The cscpta binary to exec as a --workers child: /proc/self/exe where
@@ -313,6 +336,25 @@ void printBatchStats(const BatchReport &Report, unsigned Pass,
                static_cast<unsigned long long>(Report.CacheMisses));
 }
 
+/// Maps a ledger task id back to its (entry label, spec) for
+/// diagnostics, using the shared linear numbering.
+std::pair<std::string, std::string>
+taskName(const std::vector<BatchEntry> &Entries, uint32_t Task) {
+  size_t Linear = 0;
+  for (const BatchEntry &E : Entries)
+    for (const std::string &Spec : E.Specs) {
+      if (Linear == Task) {
+        std::string Label = !E.Label.empty()
+                                ? E.Label
+                                : !E.Files.empty() ? E.Files.front()
+                                                   : "<batch>";
+        return {Label, Spec};
+      }
+      ++Linear;
+    }
+  return {"<unknown>", "?"};
+}
+
 int runBatch(const CliOptions &Cli, const char *Argv0) {
   std::vector<BatchEntry> Entries;
   std::string Error;
@@ -322,11 +364,27 @@ int runBatch(const CliOptions &Cli, const char *Argv0) {
   }
 
   std::shared_ptr<ResultStore> Store = openStore(Cli);
-  // --worker-shard: a spawned shard worker. It computes its slice,
-  // publishes into the store, and stays silent on stdout — the
+  // --worker-shard / --worker-pull: a spawned worker. It computes its
+  // share, publishes into the store, and stays silent on stdout — the
   // coordinator prints the one authoritative report.
   bool WorkerMode = Cli.ShardSet;
 
+  if (Cli.WorkerPull) {
+    if (!Store)
+      return 2; // nothing to coordinate through; supervisor compensates
+    BatchExecutor::Options WO;
+    WO.Jobs = Cli.Jobs;
+    WO.WithStdlib = !Cli.NoStdlib;
+    WO.WorkBudget = Cli.WorkBudget;
+    WO.TimeBudgetMs = Cli.BudgetMs;
+    WO.CacheBudgetBytes = Cli.CacheBudget;
+    WO.Store = Store;
+    return runPullWorker(Entries, WO, Cli.StoreDir + "/ledger.bin",
+                         batchFingerprint(Entries));
+  }
+
+  bool FleetRan = false;
+  bool HadQuarantine = false;
   if (Cli.Workers > 0) {
     if (!Store) {
       // Unusable store: the fleet has nothing to coordinate through.
@@ -343,15 +401,40 @@ int runBatch(const CliOptions &Cli, const char *Argv0) {
       FO.WorkBudget = Cli.WorkBudget;
       FO.TimeBudgetMs = Cli.BudgetMs;
       FO.Verbose = Cli.Verbose;
-      unsigned Failed = runWorkerFleet(FO);
-      if (Failed)
+      FO.BatchFingerprint = batchFingerprint(Entries);
+      FO.TaskCount = static_cast<uint32_t>(countBatchTasks(Entries));
+      FO.LeaseTtlMs = static_cast<uint32_t>(Cli.LeaseTtlMs);
+      FO.MaxAttempts = Cli.MaxTaskAttempts;
+      FO.RestartBudget = Cli.Workers * Cli.MaxTaskAttempts + 4;
+      FleetReport FR = runWorkerFleet(FO);
+      FleetRan = FR.LedgerOk;
+      if (!FR.LedgerOk)
         std::fprintf(stderr,
-                     "warning: %u of %u workers failed; computing their "
-                     "shards in-process\n",
-                     Failed, std::max(1u, Cli.Workers));
+                     "warning: fleet task ledger unusable; running the "
+                     "batch in-process\n");
+      if (Cli.Stats && FR.LedgerOk)
+        std::fprintf(stderr,
+                     "[cscpta] fleet stats: spawned %u workers "
+                     "(%u respawns), %s; tasks %u done, %u quarantined\n",
+                     FR.Spawned, FR.Respawns,
+                     FR.exitCauseSummary().c_str(), FR.Final.Done,
+                     FR.Final.Quarantined);
+      for (uint32_t T = 0; T != FR.Tasks.size(); ++T) {
+        const TaskLedger::Task &Task = FR.Tasks[T];
+        if (Task.State != TaskLedger::TaskState::Quarantined)
+          continue;
+        HadQuarantine = true;
+        auto [Label, Spec] = taskName(Entries, T);
+        std::fprintf(stderr,
+                     "error: task %u (%s: %s) quarantined after %u "
+                     "attempts: %s\n",
+                     T, Label.c_str(), Spec.c_str(), Task.Attempts,
+                     Task.Diag.c_str());
+      }
       // Fall through: the coordinator's own batch run below serves the
       // fleet's published results from the warm store and computes
-      // whatever failed workers left behind.
+      // whatever the fleet didn't finish — including quarantined tasks,
+      // so the aggregate stays byte-identical under any crash schedule.
     }
   }
 
@@ -372,6 +455,17 @@ int runBatch(const CliOptions &Cli, const char *Argv0) {
     if (!WorkerMode || Cli.Verbose)
       printBatchStats(Report, Pass, Cli.Repeat);
   }
+
+  // The authoritative report has consumed everything the fleet
+  // published: retire the ledger (and with it the GC pins on its store
+  // keys), then let GC re-enforce the configured bounds.
+  if (FleetRan) {
+    std::remove((Cli.StoreDir + "/ledger.bin").c_str());
+    std::remove((Cli.StoreDir + "/ledger.bin.lock").c_str());
+    if (Store)
+      Store->gc();
+  }
+
   if (Cli.Stats) {
     const ResultCache &C = Exec.cache();
     std::fprintf(stderr,
@@ -416,7 +510,13 @@ int runBatch(const CliOptions &Cli, const char *Argv0) {
         std::fprintf(stderr, "error: %s: %s\n", E.Label.c_str(),
                      R.Error.c_str());
   }
-  return Report.exitCode();
+  int RC = Report.exitCode();
+  // A quarantined task means some worker crash-looped: the aggregate is
+  // still complete (recomputed in-process), but the condition needs
+  // operator attention — fail the coordinator.
+  if (HadQuarantine && RC == 0)
+    RC = 1;
+  return RC;
 }
 
 /// `--stats`: one stderr line per completed run with the scheduling
@@ -708,6 +808,30 @@ int main(int Argc, char **Argv) {
           !parseShardArg(Val, Cli.ShardIndex, Cli.ShardCount))
         return usage(Argv[0]);
       Cli.ShardSet = true;
+    } else if (Arg == "--worker-pull") {
+      Cli.WorkerPull = true;
+    } else if (matchesOpt(Argv[I], "--lease-ttl")) {
+      if (!takeValue(Argc, Argv, I, "--lease-ttl", Val) ||
+          !parseUint64Arg(Val, "--lease-ttl", Cli.LeaseTtlMs))
+        return usage(Argv[0]);
+      if (Cli.LeaseTtlMs == 0 || Cli.LeaseTtlMs > 3600000) {
+        std::fprintf(stderr, "error: --lease-ttl expects milliseconds in "
+                             "[1, 3600000]\n");
+        return usage(Argv[0]);
+      }
+    } else if (matchesOpt(Argv[I], "--max-task-attempts")) {
+      if (!takeValue(Argc, Argv, I, "--max-task-attempts", Val) ||
+          !parsePositiveArg(Val, "--max-task-attempts",
+                            Cli.MaxTaskAttempts))
+        return usage(Argv[0]);
+    } else if (matchesOpt(Argv[I], "--store-max-bytes")) {
+      if (!takeValue(Argc, Argv, I, "--store-max-bytes", Val) ||
+          !parseUint64Arg(Val, "--store-max-bytes", Cli.StoreMaxBytes))
+        return usage(Argv[0]);
+    } else if (matchesOpt(Argv[I], "--store-max-age")) {
+      if (!takeValue(Argc, Argv, I, "--store-max-age", Val) ||
+          !parseUint64Arg(Val, "--store-max-age", Cli.StoreMaxAgeS))
+        return usage(Argv[0]);
     } else if (Arg == "--scrub") {
       Cli.Scrub = true;
     } else if (Arg == "--json") {
@@ -770,15 +894,24 @@ int main(int Argc, char **Argv) {
                 static_cast<unsigned long long>(R.Bytes));
     return 0;
   }
-  if ((Cli.Workers > 0 || Cli.ShardSet) &&
+  if ((Cli.Workers > 0 || Cli.ShardSet || Cli.WorkerPull) &&
       (Cli.BatchManifest.empty() || Cli.StoreDir.empty())) {
     std::fprintf(stderr, "error: %s requires --batch and --store\n",
-                 Cli.Workers > 0 ? "--workers" : "--worker-shard");
+                 Cli.Workers > 0      ? "--workers"
+                 : Cli.WorkerPull     ? "--worker-pull"
+                                      : "--worker-shard");
     return usage(Argv[0]);
   }
-  if (Cli.Workers > 0 && Cli.ShardSet) {
-    std::fprintf(stderr,
-                 "error: --workers conflicts with --worker-shard\n");
+  if ((Cli.Workers > 0 && (Cli.ShardSet || Cli.WorkerPull)) ||
+      (Cli.ShardSet && Cli.WorkerPull)) {
+    std::fprintf(stderr, "error: --workers, --worker-shard, and "
+                         "--worker-pull are mutually exclusive\n");
+    return usage(Argv[0]);
+  }
+  if (Cli.StoreDir.empty() &&
+      (Cli.StoreMaxBytes != 0 || Cli.StoreMaxAgeS != 0)) {
+    std::fprintf(stderr, "error: --store-max-bytes/--store-max-age "
+                         "require --store\n");
     return usage(Argv[0]);
   }
   if (Cli.Serve) {
