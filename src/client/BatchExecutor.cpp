@@ -770,8 +770,14 @@ int csc::runPullWorker(const std::vector<BatchEntry> &Entries,
     Hcv.notify_one();
     Heart.join();
 
+    // A failed program load clears the entry's Runs vector, so the slot
+    // may not exist: complete with an empty key (nothing was published)
+    // and let the coordinator's drain re-derive the load diagnostic —
+    // a load failure is an ordinary task outcome, not a worker fault.
     auto [E, S] = TaskMap[L.Task];
-    Ledger.complete(L, Wid, R.Entries[E].Runs[S].StoreKey);
+    const auto &Runs = R.Entries[E].Runs;
+    Ledger.complete(L, Wid,
+                    S < Runs.size() ? Runs[S].StoreKey : std::string());
   }
 #else
   (void)Entries;
@@ -939,11 +945,15 @@ FleetReport csc::runWorkerFleet(const WorkerFleetOptions &O) {
       break;
 
     // Progress signature: completion counts, state mix, and lease
-    // expiries (renewals move them forward).
+    // expiries (renewals move them forward). Each count is hashed in
+    // full width — bit-packing would alias fields once a batch exceeds
+    // a few thousand tasks.
     TaskLedger::Config SnapCfg;
     std::vector<TaskLedger::Task> Tasks;
-    uint64_t Sig = (uint64_t)Sum.Done << 40 | (uint64_t)Sum.Quarantined << 24 |
-                   Sum.Pending << 12 | Sum.Leased;
+    uint64_t Sig = 1469598103934665603ULL;
+    for (uint64_t Count : {(uint64_t)Sum.Done, (uint64_t)Sum.Quarantined,
+                           (uint64_t)Sum.Pending, (uint64_t)Sum.Leased})
+      Sig = fnv1a64(&Count, sizeof(Count), Sig);
     if (Ledger.snapshot(SnapCfg, Tasks))
       for (const TaskLedger::Task &T : Tasks)
         Sig = fnv1a64(&T.LeaseExpiryMs, sizeof(T.LeaseExpiryMs), Sig);

@@ -558,12 +558,18 @@ ResultStore::GcReport ResultStore::gcLocked() {
   ScopedFileLock Lock(Opts.Dir + "/store.lock");
   std::map<std::string, IndexRecord> Merged;
   std::string Bytes;
-  if (readWholeFile(Opts.Dir + "/index.bin", Bytes))
-    parseIndexBytes(Bytes, Merged);
+  bool DiskOk =
+      readWholeFile(Opts.Dir + "/index.bin", Bytes) &&
+      parseIndexBytes(Bytes, Merged);
   for (const std::string &Key : Evict)
     Merged.erase(Key);
+  // Keys a readable disk index lacks were evicted by another handle:
+  // re-inserting ours would resurrect records whose object files are
+  // gone and over-count the next GC pass's total. Only repair the index
+  // wholesale when there is no valid disk copy to defer to.
   for (const auto &KV : Index)
-    Merged.insert(KV);
+    if (!DiskOk || Merged.count(KV.first))
+      Merged.insert(KV); // insert(): existing disk records win
   writeFileAtomic(Opts.Dir + "/index.bin", indexBytesLocked(Merged));
 #endif
   return Report;
@@ -581,13 +587,18 @@ void ResultStore::flushAccessLocked() {
   ScopedFileLock Lock(Opts.Dir + "/store.lock");
   std::map<std::string, IndexRecord> Merged;
   std::string Bytes;
-  if (readWholeFile(Opts.Dir + "/index.bin", Bytes))
-    parseIndexBytes(Bytes, Merged);
+  bool DiskOk =
+      readWholeFile(Opts.Dir + "/index.bin", Bytes) &&
+      parseIndexBytes(Bytes, Merged);
   for (const auto &[Key, Rec] : Index) {
     auto It = Merged.find(Key);
-    if (It == Merged.end())
-      Merged[Key] = Rec;
-    else if (It->second.LastAccessMs < Rec.LastAccessMs)
+    if (It == Merged.end()) {
+      // Absent from a readable disk index means another handle GC'd the
+      // entry; an access stamp must not resurrect it. Without a valid
+      // disk copy, fall back to repairing from our records.
+      if (!DiskOk)
+        Merged[Key] = Rec;
+    } else if (It->second.LastAccessMs < Rec.LastAccessMs)
       It->second.LastAccessMs = Rec.LastAccessMs;
   }
   writeFileAtomic(Opts.Dir + "/index.bin", indexBytesLocked(Merged));

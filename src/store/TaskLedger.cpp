@@ -9,6 +9,7 @@
 #include "support/BinaryIO.h"
 #include "support/Hash.h"
 
+#include <atomic>
 #include <cerrno>
 #include <chrono>
 #include <cstdio>
@@ -180,8 +181,15 @@ bool TaskLedger::storeLocked(const State &S) const {
   if (Opts.TestFailWrites)
     return false;
   std::string Bytes = serializeState(S.Cfg, S.Tasks);
+  // pid alone is not unique enough: two handles in one process (or the
+  // result store's own .tmp-<pid>-<seq> writers sharing the directory)
+  // must never clobber each other's temp file mid-write. A process-wide
+  // counter plus a ledger-specific prefix uniquifies both.
+  static std::atomic<uint64_t> TempSeq{0};
   char Temp[64];
-  std::snprintf(Temp, sizeof(Temp), ".tmp-%ld", static_cast<long>(::getpid()));
+  std::snprintf(Temp, sizeof(Temp), ".ledger-tmp-%ld-%llu",
+                static_cast<long>(::getpid()),
+                static_cast<unsigned long long>(++TempSeq));
   size_t Slash = Opts.Path.rfind('/');
   std::string TempPath =
       (Slash == std::string::npos ? std::string()

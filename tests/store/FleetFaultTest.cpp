@@ -194,6 +194,39 @@ TEST_F(FleetFaultTest, SigstoppedWorkerLosesItsLeaseAndIsKilled) {
   EXPECT_NE(Err.find("straggler"), std::string::npos) << Err;
 }
 
+TEST_F(FleetFaultTest, MissingProgramLoadFailureIsAnOrdinaryTaskOutcome) {
+  // Regression: runPullWorker used to read Runs[S].StoreKey after a
+  // failed program load had cleared the entry's Runs vector —
+  // out-of-bounds indexing that crash-looped every worker touching the
+  // task until quarantine failed the fleet for an ordinary load
+  // failure. The tasks must instead complete with an empty key, nothing
+  // may be quarantined, and the aggregate (load diagnostics included)
+  // must match the storeless oracle byte for byte, exit code and all.
+  std::ofstream M(Manifest, std::ios::trunc);
+  M << "{ \"entries\": [\n"
+       "  { \"label\": \"gone\", \"program\": \"" CSC_EXAMPLES_DIR
+       "/no-such-program.jir\", \"specs\": [\"ci\", \"csc\", \"2obj\"] },\n"
+       "  { \"label\": \"ct\", \"program\": \"" CSC_EXAMPLES_DIR
+       "/containers.jir\", \"specs\": [\"ci\", \"csc\", \"2obj\"] }\n"
+       "] }\n";
+  ASSERT_TRUE(M.good());
+  M.close();
+
+  std::string LocalOracle, Err;
+  int OracleRC = runShell(std::string("'") + CSC_CSCPTA_PATH + "' --batch " +
+                              Manifest + " --json",
+                          Root, LocalOracle, Err);
+  EXPECT_EQ(OracleRC, 1) << Err; // a load failure is a reported nonzero
+  ASSERT_FALSE(LocalOracle.empty());
+
+  std::string Out;
+  EXPECT_EQ(runFleet("", "", Out, Err), OracleRC) << Err;
+  EXPECT_EQ(Out, LocalOracle);
+  EXPECT_EQ(Err.find("error: task"), std::string::npos) << Err;
+  EXPECT_NE(Err.find("tasks 6 done, 0 quarantined"), std::string::npos)
+      << Err;
+}
+
 TEST_F(FleetFaultTest, UnusableLedgerFallsBackToInProcessExecution) {
   // ledger.bin pre-created as a *directory*: the atomic rename in
   // TaskLedger::create fails, the fleet never starts, and the

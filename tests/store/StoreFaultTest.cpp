@@ -403,6 +403,34 @@ TEST_F(StoreFaultTest, GcAgeBoundEvictsEntriesNotAccessedInTime) {
   EXPECT_EQ(runWith(openGc(0, 5000)).StoreHits, 6u);
 }
 
+TEST_F(StoreFaultTest, AccessFlushDoesNotResurrectGcEvictedEntries) {
+  // Regression: a handle's destructor used to flush its in-memory
+  // access stamps by re-inserting whole index records for keys missing
+  // from the disk index — resurrecting entries another handle had
+  // already GC-evicted, as phantom records pointing at deleted object
+  // files whose bytes inflated the next GC pass into over-eviction.
+  runWith(openGc(0, 0)); // warm at the fake clock's T0
+  {
+    std::shared_ptr<ResultStore> Reader = openGc(0, 0);
+    EXPECT_EQ(runWith(Reader).StoreHits, 6u); // stamps all six in memory
+
+    // While Reader still holds those records, another handle evicts
+    // everything under an age bound.
+    Clock += 10000;
+    std::shared_ptr<ResultStore> Collector = openGc(0, /*MaxAgeMs=*/5000);
+    EXPECT_EQ(Collector->counters().GcEvictions, 6u);
+    EXPECT_EQ(listFiles(Dir + "/objects").size(), 0u);
+    // Scope exit: Collector closes first, then Reader's destructor
+    // flushes its stale stamps against the post-eviction disk index.
+  }
+
+  // A fresh handle under a 1-byte budget inherits the index as written:
+  // resurrection would hand it six phantom records to "evict" again.
+  std::shared_ptr<ResultStore> Fresh = openGc(/*MaxBytes=*/1, 0);
+  EXPECT_EQ(Fresh->counters().GcEvictions, 0u);
+  EXPECT_EQ(runWith(Fresh).StoreMisses, 6u); // recomputes; still oracle
+}
+
 TEST_F(StoreFaultTest, GcNeverEvictsKeysPinnedByALiveTaskLedger) {
   std::vector<std::string> Keys = storeKeys(runWith(openGc(0, 0)));
   ASSERT_EQ(Keys.size(), 6u);
